@@ -1,0 +1,32 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md). Results are printed in the paper's
+layout and persisted under ``benchmarks/results/`` so EXPERIMENTS.md
+can cite measured numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_results(name: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.json", "w") as f:
+        json.dump(payload, f, indent=2, default=str)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))

@@ -1,0 +1,137 @@
+"""Sec. V-B: expression compilation vs interpretation.
+
+Paper claim: "Presto contains an expression interpreter ... that we use
+for tests, but is much too slow for production use evaluating billions
+of rows. To speed this up, Presto generates bytecode ..." — i.e. the
+compiled evaluator must beat the tree-walking interpreter by a wide
+margin on bulk evaluation.
+
+Reproduction: the same row expressions evaluated over pages by (a) the
+compiled vectorized evaluator (our "codegen", Sec. V-B analog) and (b)
+the interpreter. Asserts the compiled path is at least 5x faster on the
+arithmetic/comparison suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.exec import interpreter
+from repro.exec.compiler import compile_expression
+from repro.exec.page import page_from_rows
+from repro.planner import expressions as ir
+from repro.planner.symbols import Symbol
+from repro.types import BIGINT, BOOLEAN, DOUBLE, VARCHAR
+
+ROWS = 100_000
+
+
+def _make_page():
+    rows = [
+        (i, i % 97, float(i % 1000) / 7.0, f"value-{i % 50}")
+        for i in range(ROWS)
+    ]
+    return rows, page_from_rows([BIGINT, BIGINT, DOUBLE, VARCHAR], rows)
+
+
+SYMBOLS = [
+    Symbol("a", BIGINT),
+    Symbol("b", BIGINT),
+    Symbol("x", DOUBLE),
+    Symbol("s", VARCHAR),
+]
+A = ir.Variable(BIGINT, "a")
+B = ir.Variable(BIGINT, "b")
+X = ir.Variable(DOUBLE, "x")
+S = ir.Variable(VARCHAR, "s")
+
+
+def _expressions():
+    comparison = ir.SpecialForm(
+        BOOLEAN, ir.COMPARISON, (B, ir.Constant(BIGINT, 50)), "<"
+    )
+    arithmetic = ir.SpecialForm(
+        DOUBLE,
+        ir.ARITHMETIC,
+        (
+            ir.SpecialForm(
+                DOUBLE, ir.ARITHMETIC,
+                (X, ir.SpecialForm(DOUBLE, ir.CAST, (A,), DOUBLE)), "*",
+            ),
+            ir.Constant(DOUBLE, 3.5),
+        ),
+        "+",
+    )
+    logical = ir.SpecialForm(
+        BOOLEAN,
+        ir.AND,
+        (
+            comparison,
+            ir.SpecialForm(BOOLEAN, ir.COMPARISON, (X, ir.Constant(DOUBLE, 10.0)), ">"),
+        ),
+    )
+    like = ir.SpecialForm(BOOLEAN, ir.LIKE, (S, ir.Constant(VARCHAR, "value-1%")))
+    return {
+        "comparison": comparison,
+        "arithmetic": arithmetic,
+        "and_3vl": logical,
+        "like": like,
+    }
+
+
+@pytest.mark.benchmark(group="codegen")
+def test_codegen_vs_interpreter(benchmark):
+    rows, page = _make_page()
+    expressions = _expressions()
+    compiled = {
+        name: compile_expression(expr, SYMBOLS) for name, expr in expressions.items()
+    }
+    bindings = [dict(zip(("a", "b", "x", "s"), row)) for row in rows]
+
+    def run_compiled():
+        for expr in compiled.values():
+            expr.evaluate_page(page)
+
+    # Time the compiled path through the benchmark fixture.
+    benchmark(run_compiled)
+
+    # Interpreter baseline, measured directly (a fraction of the rows,
+    # extrapolated — the full run would dominate the suite).
+    sample = bindings[:: max(1, ROWS // 5_000)]
+    speedups = {}
+    table = []
+    for name, expr in expressions.items():
+        t0 = time.perf_counter()
+        compiled[name].evaluate_page(page)
+        compiled_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for row_bindings in sample:
+            interpreter.evaluate(expr, row_bindings)
+        interpreted_s = (time.perf_counter() - t0) * (ROWS / len(sample))
+        speedups[name] = interpreted_s / compiled_s
+        table.append(
+            [
+                name,
+                f"{compiled_s * 1e3:.1f} ms",
+                f"{interpreted_s * 1e3:.0f} ms (extrap.)",
+                f"{speedups[name]:.1f}x",
+            ]
+        )
+    print_table(
+        f"Sec. V-B — compiled vs interpreted evaluation over {ROWS:,} rows",
+        ["expression", "compiled", "interpreted", "speedup"],
+        table,
+    )
+    save_results("codegen", {"speedups": speedups})
+    benchmark.extra_info.update({k: round(v, 1) for k, v in speedups.items()})
+
+    # Paper shape: compilation is dramatically faster; require >= 5x on
+    # the vectorizable suite and >= 2x even for the regex-like path.
+    assert speedups["comparison"] > 5
+    assert speedups["arithmetic"] > 5
+    assert speedups["and_3vl"] > 5
+    assert speedups["like"] > 2

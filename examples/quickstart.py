@@ -1,0 +1,72 @@
+"""Quickstart: an embedded engine over in-memory tables.
+
+Run with:  python examples/quickstart.py
+
+Creates a LocalEngine (parse -> analyze -> plan -> optimize -> execute,
+all in process), registers the in-memory connector, loads a small table,
+and runs a few queries — including EXPLAIN output showing the optimized
+logical plan.
+"""
+
+from repro.client import LocalEngine
+from repro.connectors.memory import MemoryConnector
+from repro.types import BIGINT, DOUBLE, VARCHAR
+
+
+def main() -> None:
+    engine = LocalEngine(catalog="memory", schema="default")
+    memory = MemoryConnector()
+    engine.register_catalog("memory", memory)
+
+    memory.create_table_with_data(
+        "memory", "default", "employees",
+        [("id", BIGINT), ("name", VARCHAR), ("dept", VARCHAR), ("salary", DOUBLE)],
+        [
+            (1, "alice", "eng", 120.0),
+            (2, "bob", "eng", 110.0),
+            (3, "carol", "sales", 95.0),
+            (4, "dave", "sales", 105.0),
+            (5, "erin", "ops", 90.0),
+        ],
+    )
+
+    print("-- all rows")
+    for row in engine.execute("SELECT * FROM employees ORDER BY id"):
+        print(row)
+
+    print("\n-- aggregation with HAVING")
+    result = engine.execute(
+        "SELECT dept, count(*) n, avg(salary) avg_salary "
+        "FROM employees GROUP BY dept HAVING count(*) > 1 ORDER BY avg_salary DESC"
+    )
+    for row in result:
+        print(row)
+
+    print("\n-- window function: salary rank within department")
+    for row in engine.execute(
+        "SELECT name, dept, rank() OVER (PARTITION BY dept ORDER BY salary DESC) r "
+        "FROM employees ORDER BY dept, r"
+    ):
+        print(row)
+
+    print("\n-- higher-order functions on arrays (paper Sec. IV-A)")
+    print(engine.execute(
+        "SELECT transform(sequence(1, 5), x -> x * x), "
+        "reduce(sequence(1, 5), 0, (s, x) -> s + x, s -> s)"
+    ).rows[0])
+
+    print("\n-- CREATE TABLE AS + INSERT")
+    engine.execute(
+        "CREATE TABLE well_paid AS SELECT name, salary FROM employees WHERE salary > 100"
+    )
+    engine.execute("INSERT INTO well_paid SELECT 'frank', 150.0")
+    print(engine.execute("SELECT count(*) FROM well_paid").scalar(), "rows in well_paid")
+
+    print("\n-- EXPLAIN (optimized logical plan)")
+    print(engine.execute(
+        "EXPLAIN SELECT dept, sum(salary) FROM employees WHERE salary > 90 GROUP BY dept"
+    ).rows[0][0])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Semantic analysis (paper Sec. IV-B2).
+
+The analyzer resolves names against scopes, determines types and
+coercions, resolves functions, and classifies aggregations and window
+functions. It lowers AST expressions into the typed row-expression IR
+consumed by the planner and compiler.
+"""
+
+from repro.analyzer.scope import Field, Scope
+from repro.analyzer.expression import ExpressionAnalyzer
+
+__all__ = ["Field", "Scope", "ExpressionAnalyzer"]

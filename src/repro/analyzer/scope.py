@@ -1,0 +1,92 @@
+"""Name-resolution scopes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AmbiguousNameError, ColumnNotFoundError
+from repro.planner.symbols import Symbol
+from repro.types import Type
+
+
+@dataclass(frozen=True)
+class Field:
+    """One visible column: an optional name, the relation alias that
+    qualifies it, its type, and the plan symbol carrying its data."""
+
+    name: Optional[str]
+    type: Type
+    symbol: Symbol
+    qualifier: Optional[str] = None
+
+
+class Scope:
+    """An ordered list of visible fields, with optional parent scope.
+
+    When ``captures`` is a list, references that resolve in the parent
+    scope are *captured* (recorded and returned) — this is how the
+    planner collects a correlated subquery's outer references for
+    decorrelation (paper Sec. IV-C lists decorrelation among the
+    optimizer's transformations). Without a capture list, a parent-only
+    resolution is reported as an unsupported correlation.
+    """
+
+    def __init__(
+        self,
+        fields: list[Field],
+        parent: Optional["Scope"] = None,
+        captures: Optional[list[Field]] = None,
+    ):
+        self.fields = fields
+        self.parent = parent
+        self.captures = captures
+
+    def resolve(self, name: str, qualifier: str | None = None) -> Field:
+        matches = [
+            f
+            for f in self.fields
+            if f.name is not None
+            and f.name.lower() == name.lower()
+            and (qualifier is None or (f.qualifier or "").lower() == qualifier.lower())
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            shown = f"{qualifier}.{name}" if qualifier else name
+            raise AmbiguousNameError(f"Column '{shown}' is ambiguous")
+        if self.parent is not None:
+            try:
+                outer = self.parent.resolve(name, qualifier)
+            except (ColumnNotFoundError, AmbiguousNameError):
+                pass
+            else:
+                if self.captures is not None:
+                    if outer not in self.captures:
+                        self.captures.append(outer)
+                    return outer
+                from repro.errors import NotSupportedError
+
+                raise NotSupportedError(
+                    f"Correlated reference to '{name}' is not supported"
+                )
+        shown = f"{qualifier}.{name}" if qualifier else name
+        raise ColumnNotFoundError(f"Column '{shown}' cannot be resolved")
+
+    def has_field(self, name: str, qualifier: str | None = None) -> bool:
+        try:
+            self.resolve(name, qualifier)
+            return True
+        except (ColumnNotFoundError, AmbiguousNameError):
+            return False
+        except Exception:
+            return True
+
+    def fields_for_qualifier(self, qualifier: str) -> list[Field]:
+        return [
+            f for f in self.fields if (f.qualifier or "").lower() == qualifier.lower()
+        ]
+
+    @staticmethod
+    def empty() -> "Scope":
+        return Scope([])

@@ -1,0 +1,19 @@
+"""Catalog metadata: tables, columns, statistics, qualified names."""
+
+from repro.catalog.schema import (
+    Column,
+    ColumnStatistics,
+    QualifiedTableName,
+    TableMetadata,
+    TableStatistics,
+    compute_column_statistics,
+)
+
+__all__ = [
+    "Column",
+    "TableMetadata",
+    "QualifiedTableName",
+    "TableStatistics",
+    "ColumnStatistics",
+    "compute_column_statistics",
+]

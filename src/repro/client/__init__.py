@@ -1,0 +1,5 @@
+"""Client API: sessions and query results."""
+
+from repro.client.session import LocalEngine, QueryResult
+
+__all__ = ["LocalEngine", "QueryResult"]

@@ -1,0 +1,366 @@
+"""SimCluster: the assembled simulated deployment.
+
+One coordinator + N workers (paper Sec. III). The coordinator admits
+queries through a queue policy, plans/optimizes/fragments them, and
+orchestrates execution; workers run tasks under the MLFQ scheduler with
+per-node memory pools. All time is virtual (discrete-event).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.catalog.metadata import Metadata
+from repro.cluster.cost import CostModel
+from repro.cluster.query import QueryExecution
+from repro.cluster.sim import Simulation
+from repro.cluster.task import SimTask
+from repro.cluster.worker import Worker
+from repro.connectors.api import Connector
+from repro.errors import (
+    ExceededMemoryLimitError,
+    PrestoError,
+    QueryQueueFullError,
+    WorkerFailedError,
+)
+from repro.memory.pools import ClusterMemoryManager, MemoryLimits, MemoryPool
+from repro.optimizer.context import OptimizerConfig
+from repro.planner.fragmenter import fragment_plan
+from repro.planner.planner import LogicalPlanner, SessionContext
+from repro.sql import parse_statement
+
+
+@dataclass
+class ClusterConfig:
+    worker_count: int = 4
+    threads_per_worker: int = 4
+    # Memory (bytes) per node and limits (Sec. IV-F2).
+    node_memory_bytes: int = 512 * 1024 * 1024
+    reserved_pool_bytes: int = 128 * 1024 * 1024
+    per_node_user_limit_bytes: int = 256 * 1024 * 1024
+    global_user_limit_bytes: int = 2 * 1024 * 1024 * 1024
+    kill_on_reserved_conflict: bool = False
+    # Spilling (Sec. IV-F2): Facebook runs with it disabled; clusters can
+    # enable it to trade local disk I/O for memory headroom.
+    spill_enabled: bool = False
+    # Shuffle buffers.
+    output_buffer_bytes: int = 8 * 1024 * 1024
+    # Scheduling.
+    phased_execution: bool = False
+    prefer_local_reads: bool = True
+    max_concurrent_queries: int = 100
+    max_queued_queries: int = 1000
+    # Queue policies (paper Sec. III: plugins provide queuing policies):
+    # per-resource-group concurrency caps, checked on admission.
+    resource_groups: dict = field(default_factory=dict)
+    # Adaptive writer scaling (Sec. IV-E3): start with one active writer
+    # and add writers while the producing stage's output buffer stays
+    # above the utilization threshold.
+    writer_scaling_enabled: bool = True
+    writer_scaling_utilization_threshold: float = 0.5
+    # Transient shuffle failures are retried at a low level (Sec. IV-G)
+    # without failing the query; rate is per transfer.
+    transient_failure_rate: float = 0.0
+    transient_retry_delay_ms: float = 5.0
+    # Cost model.
+    cost_mode: str = "deterministic"
+    speed_factor: float = 1.0
+    default_catalog: str = "memory"
+    default_schema: str = "default"
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+
+
+class SimCluster:
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        self.sim = Simulation()
+        self.metadata = Metadata()
+        self.cost_model = CostModel(
+            mode=self.config.cost_mode, speed_factor=self.config.speed_factor
+        )
+        limits = MemoryLimits(
+            per_node_user_bytes=self.config.per_node_user_limit_bytes,
+            global_user_bytes=self.config.global_user_limit_bytes,
+            per_node_total_bytes=self.config.node_memory_bytes,
+        )
+        self.memory_manager = ClusterMemoryManager(
+            limits, self.config.kill_on_reserved_conflict
+        )
+        self.workers: dict[str, Worker] = {}
+        for i in range(self.config.worker_count):
+            name = f"worker-{i}"
+            pool = MemoryPool(
+                name,
+                self.config.node_memory_bytes - self.config.reserved_pool_bytes,
+                self.config.reserved_pool_bytes,
+            )
+            self.memory_manager.register_node(pool)
+            self.workers[name] = Worker(
+                name,
+                self.sim,
+                threads=self.config.threads_per_worker,
+                memory_pool=pool,
+                on_quantum_complete=self._on_quantum_complete,
+            )
+        self.queries: dict[str, QueryExecution] = {}
+        self._query_counter = itertools.count()
+        self._admission_queue: deque[QueryExecution] = deque()
+        self._running = 0
+        self._running_by_group: dict[str, int] = {}
+        self._memory_blocked_tasks: list[SimTask] = []
+        self.network_bytes = 0
+        self.transient_retries = 0
+        # Deterministic PRNG for fault injection.
+        self._fault_state = 0x9E3779B97F4A7C15
+        from repro.exec.spill import SpillContext
+
+        self.spill_context = SpillContext()
+        # Trace of (time_ms, running_query_count) for Fig. 8.
+        self.concurrency_trace: list[tuple[float, int]] = []
+
+    # -- worker helpers ------------------------------------------------------
+
+    @property
+    def coordinator_worker(self) -> Worker:
+        # Single-task stages run on the first live worker.
+        for worker in self.workers.values():
+            if worker.alive:
+                return worker
+        raise PrestoError("No live workers in the cluster")
+
+    @property
+    def worker_hosts(self) -> list[str]:
+        return [w.name for w in self.workers.values() if w.alive]
+
+    def register_catalog(self, name: str, connector: Connector) -> None:
+        self.metadata.register_catalog(name, connector)
+
+    # -- query lifecycle ------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        phased: bool | None = None,
+        client_bandwidth_bytes_per_ms: float | None = None,
+        session_catalog: str | None = None,
+        session_schema: str | None = None,
+        resource_group: str | None = None,
+    ) -> QueryExecution:
+        """Parse, plan, optimize, fragment, and enqueue a query."""
+        if len(self._admission_queue) >= self.config.max_queued_queries:
+            raise QueryQueueFullError("Admission queue is full")
+        query_id = f"q{next(self._query_counter)}"
+        statement = parse_statement(sql)
+        planner = LogicalPlanner(
+            self.metadata,
+            SessionContext(
+                session_catalog or self.config.default_catalog,
+                session_schema or self.config.default_schema,
+            ),
+        )
+        plan = planner.plan_statement(statement)
+        from repro.optimizer import optimize_plan
+
+        plan = optimize_plan(plan, self.metadata, planner.symbols, self.config.optimizer)
+        fragmented = fragment_plan(plan)
+        query = QueryExecution(
+            query_id,
+            fragmented,
+            self,
+            phased=self.config.phased_execution if phased is None else phased,
+            client_bandwidth_bytes_per_ms=client_bandwidth_bytes_per_ms,
+        )
+        query.on_finish = self._on_query_finish
+        query.resource_group = resource_group
+        self.queries[query_id] = query
+        self._admission_queue.append(query)
+        self.sim.schedule(0.0, self._admit)
+        return query
+
+    def _group_admissible(self, query: QueryExecution) -> bool:
+        group = getattr(query, "resource_group", None)
+        if group is None:
+            return True
+        limit = self.config.resource_groups.get(group)
+        if limit is None:
+            return True
+        return self._running_by_group.get(group, 0) < limit
+
+    def _admit(self) -> None:
+        # FIFO with per-resource-group caps: skip over queue entries whose
+        # group is at its concurrency limit.
+        deferred: deque[QueryExecution] = deque()
+        while (
+            self._admission_queue
+            and self._running < self.config.max_concurrent_queries
+        ):
+            query = self._admission_queue.popleft()
+            if not self._group_admissible(query):
+                deferred.append(query)
+                continue
+            group = getattr(query, "resource_group", None)
+            if group is not None:
+                self._running_by_group[group] = self._running_by_group.get(group, 0) + 1
+            self._running += 1
+            self.concurrency_trace.append((self.sim.now, self._running))
+            query.start()
+        self._admission_queue.extendleft(reversed(deferred))
+
+    def _on_query_finish(self, query: QueryExecution) -> None:
+        self._running -= 1
+        group = getattr(query, "resource_group", None)
+        if group is not None:
+            self._running_by_group[group] = max(
+                0, self._running_by_group.get(group, 0) - 1
+            )
+        self.concurrency_trace.append((self.sim.now, self._running))
+        self.sim.schedule(0.0, self._admit)
+
+    def run(self, until_ms: float | None = None) -> None:
+        """Drive the simulation until idle (or the horizon)."""
+        self.sim.run(until_ms=until_ms)
+
+    def run_query(self, sql: str, drain: bool = False, **kwargs) -> QueryExecution:
+        """Submit one query and run the simulation until it settles.
+
+        ``drain=True`` additionally runs the event loop dry afterwards so
+        in-flight quanta do not bleed into a following measurement
+        (sequential benchmarking on a quiesced cluster).
+        """
+        query = self.submit(sql, **kwargs)
+        self.sim.run(stop_when=lambda: query.state in ("finished", "failed"))
+        if drain:
+            self.sim.run()
+        if query.state == "failed" and query.error is not None:
+            raise query.error
+        if query.state not in ("finished", "failed"):
+            raise PrestoError(f"Query {query.query_id} did not complete (state={query.state})")
+        return query
+
+    def execute(self, sql: str, **kwargs) -> list[tuple]:
+        return self.run_query(sql, **kwargs).rows()
+
+    # -- per-quantum bookkeeping (memory, completion) ----------------------------
+
+    def _on_quantum_complete(self, worker: Worker, task: SimTask) -> None:
+        query = self.queries.get(task.query_id)
+        if query is None or query.state != "running":
+            return
+        user_delta, system_delta = task.memory_deltas()
+        if user_delta or system_delta:
+            try:
+                outcome = self.memory_manager.reserve(
+                    task.query_id, worker.name, user_delta, system_delta
+                )
+            except ExceededMemoryLimitError as exc:
+                query.fail(exc)
+                return
+            if outcome == "blocked":
+                if self.config.spill_enabled:
+                    released = task.revoke_memory(self.spill_context)
+                    if released > 0:
+                        # The spill frees general-pool space; account it.
+                        user_now, system_now = task.memory_deltas()
+                        self.memory_manager.reserve(
+                            task.query_id, worker.name, user_now, system_now
+                        )
+                        task.worker.kick(task)
+                        query.on_task_quantum(task)
+                        return
+                task.memory_blocked = True
+                self._memory_blocked_tasks.append(task)
+        query.on_task_quantum(task)
+
+    def on_query_memory_released(self) -> None:
+        blocked, self._memory_blocked_tasks = self._memory_blocked_tasks, []
+        for task in blocked:
+            task.memory_blocked = False
+            query = self.queries.get(task.query_id)
+            if query is not None and query.state == "running":
+                task.worker.kick(task)
+
+    # -- faults (Sec. IV-G) ----------------------------------------------------------
+
+    def crash_worker(self, name: str) -> list[str]:
+        """Crash a node: every query with a task there fails."""
+        worker = self.workers[name]
+        victims = worker.crash()
+        failed_queries = []
+        for task in victims:
+            query = self.queries.get(task.query_id)
+            if query is not None and query.state == "running":
+                query.fail(
+                    WorkerFailedError(f"Worker {name} failed while query was running")
+                )
+                failed_queries.append(query.query_id)
+        return failed_queries
+
+    def roll_transient_failure(self) -> bool:
+        """Deterministic Bernoulli draw for transient transfer failures."""
+        if self.config.transient_failure_rate <= 0:
+            return False
+        self._fault_state = (
+            self._fault_state * 6364136223846793005 + 1442695040888963407
+        ) & 0xFFFFFFFFFFFFFFFF
+        draw = (self._fault_state >> 11) / float(1 << 53)
+        return draw < self.config.transient_failure_rate
+
+    # -- introspection -----------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Cluster-wide counters (paper Sec. VII: "the median Presto
+        worker node exports ~10,000 real-time performance counters")."""
+        snapshot: dict = {
+            "sim.now_ms": self.sim.now,
+            "sim.events": self.sim.events_processed,
+            "queries.total": len(self.queries),
+            "queries.running": self._running,
+            "queries.queued": len(self._admission_queue),
+            "queries.finished": sum(
+                1 for q in self.queries.values() if q.state == "finished"
+            ),
+            "queries.failed": sum(
+                1 for q in self.queries.values() if q.state == "failed"
+            ),
+            "queries.killed_for_memory": len(
+                self.memory_manager.queries_killed_for_memory
+            ),
+            "memory.promotions": self.memory_manager.promotions,
+            "network.bytes": self.network_bytes,
+            "network.transient_retries": self.transient_retries,
+            "spill.bytes": self.spill_context.bytes_spilled,
+            "spill.events": self.spill_context.spill_events,
+        }
+        for name, worker in self.workers.items():
+            snapshot[f"worker.{name}.alive"] = worker.alive
+            snapshot[f"worker.{name}.cpu_ms"] = worker.stats.busy_ms
+            snapshot[f"worker.{name}.quanta"] = worker.stats.quanta
+            snapshot[f"worker.{name}.tasks_started"] = worker.stats.tasks_started
+            snapshot[f"worker.{name}.tasks_finished"] = worker.stats.tasks_finished
+            snapshot[f"worker.{name}.memory_general_used"] = (
+                worker.memory_pool.general_used if worker.memory_pool else 0
+            )
+        return snapshot
+
+    def average_cpu_utilization(self, since_ms: float = 0.0) -> float:
+        """Average fraction of worker threads busy since ``since_ms``."""
+        total_capacity = 0.0
+        total_busy = 0.0
+        horizon = self.sim.now
+        for worker in self.workers.values():
+            if horizon <= since_ms:
+                continue
+            total_capacity += worker.threads * (horizon - since_ms)
+            trace = worker.utilization_trace
+            last_time, last_busy = since_ms, 0
+            for time_ms, busy in trace:
+                if time_ms < since_ms:
+                    last_busy = busy
+                    continue
+                total_busy += last_busy * (time_ms - last_time)
+                last_time, last_busy = time_ms, busy
+            total_busy += last_busy * (horizon - last_time)
+        return total_busy / total_capacity if total_capacity else 0.0

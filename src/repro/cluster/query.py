@@ -1,0 +1,532 @@
+"""Distributed query execution over the simulated cluster.
+
+Implements the coordinator-side orchestration of Sec. III/IV-D: stage
+creation from plan fragments, task placement (leaf stages on every
+worker, or pinned by split affinity for shared-nothing connectors),
+lazy split enumeration with shortest-queue assignment, all-at-once vs
+phased stage scheduling, the shuffle transfer service, and query
+lifecycle/result collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.shuffle import OutputBuffer
+from repro.cluster.task import SimTask
+from repro.errors import PrestoError, WorkerFailedError
+from repro.exec.page import Page
+from repro.planner import nodes as plan
+from repro.planner.fragmenter import FragmentedPlan, PlanFragment
+
+if TYPE_CHECKING:
+    from repro.cluster.cluster import SimCluster
+
+_SPLIT_BATCH_SIZE = 100
+# Simulated metastore/file-listing latency per split batch (Sec. IV-D3:
+# enumeration can take minutes at Facebook scale; scaled down here).
+_SPLIT_BATCH_LATENCY_MS = 2.0
+
+
+@dataclass
+class _ScanSchedule:
+    """Split scheduling state for one table scan within one stage."""
+
+    scan_index: int
+    connector: object
+    split_source: object
+    done: bool = False
+    assigned: int = 0
+
+
+class StageExecution:
+    def __init__(self, query: "QueryExecution", fragment: PlanFragment):
+        self.query = query
+        self.fragment = fragment
+        self.tasks: list[SimTask] = []
+        self.started = False
+        self.scan_schedules: list[_ScanSchedule] = []
+        self.completed = False
+
+    @property
+    def id(self) -> int:
+        return self.fragment.id
+
+    def all_tasks_finished(self) -> bool:
+        return all(t.is_finished() for t in self.tasks)
+
+    def check_completed(self) -> bool:
+        if self.completed:
+            return True
+        if self.all_tasks_finished() and all(
+            t.output_drained() for t in self.tasks
+        ):
+            self.completed = True
+        return self.completed
+
+
+class QueryExecution:
+    def __init__(
+        self,
+        query_id: str,
+        fragmented: FragmentedPlan,
+        cluster: "SimCluster",
+        phased: bool = False,
+        client_bandwidth_bytes_per_ms: float | None = None,
+    ):
+        self.query_id = query_id
+        self.fragmented = fragmented
+        self.cluster = cluster
+        self.phased = phased
+        self.client_bandwidth = client_bandwidth_bytes_per_ms
+        self.stages: dict[int, StageExecution] = {}
+        self.result_pages: list[Page] = []
+        self.created_at = cluster.sim.now
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.error: Exception | None = None
+        self.state = "queued"
+        # fragment id -> consuming (stage id, remote-source key)
+        self._consumers: dict[int, tuple[int, tuple]] = {}
+        # (task_id, partition) transfer in-flight / eof bookkeeping
+        self._transfer_inflight: set[tuple[str, int]] = set()
+        self._transfer_eof: set[tuple[str, int]] = set()
+        self._client_poll_scheduled = False
+        self.writer_scale_ups = 0
+        self.on_finish = None
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.state = "running"
+        self.started_at = self.cluster.sim.now
+        try:
+            self._create_stages()
+        except Exception as exc:  # planning/placement failure
+            self.fail(exc)
+            return
+        if self.phased:
+            self._start_phased()
+        else:
+            for stage in self.stages.values():
+                self._start_stage(stage)
+
+    def _create_stages(self) -> None:
+        cluster = self.cluster
+        fragments = self.fragmented.fragments
+        # Determine task counts/placement per fragment.
+        live_workers = [w for w in cluster.workers.values() if w.alive]
+        if not live_workers:
+            raise PrestoError("No live workers in the cluster")
+        placements: dict[int, list] = {}
+        for fragment_id, fragment in fragments.items():
+            if fragment.partitioning in ("source", "hash"):
+                placements[fragment_id] = live_workers
+            else:
+                placements[fragment_id] = [cluster.coordinator_worker]
+        # Map each fragment to its consumer's remote-source key.
+        for fragment_id, fragment in fragments.items():
+            for node in plan.walk_plan(fragment.root):
+                if isinstance(node, plan.RemoteSourceNode):
+                    key = tuple(node.fragment_ids)
+                    for child_id in node.fragment_ids:
+                        self._consumers[child_id] = (fragment_id, key)
+        # Create tasks bottom-up is unnecessary; all at once works since
+        # delivery targets are looked up at transfer time.
+        for fragment_id, fragment in fragments.items():
+            stage = StageExecution(self, fragment)
+            self.stages[fragment_id] = stage
+            consumer = self._consumers.get(fragment_id)
+            if consumer is None:
+                output_partitions = 1  # root: the client
+            else:
+                output_partitions = len(placements[consumer[0]])
+            remote_symbols = {}
+            for node in plan.walk_plan(fragment.root):
+                if isinstance(node, plan.RemoteSourceNode):
+                    remote_symbols[tuple(node.fragment_ids)] = (
+                        list(node.outputs),
+                        list(node.ordering),
+                    )
+            for partition, worker in enumerate(placements[fragment_id]):
+                task = SimTask(
+                    task_id=f"{self.query_id}.{fragment_id}.{partition}",
+                    query_id=self.query_id,
+                    fragment=fragment,
+                    worker=worker,
+                    metadata=cluster.metadata,
+                    partition=partition,
+                    output_partition_count=output_partitions,
+                    remote_source_symbols=remote_symbols,
+                    cost_model=cluster.cost_model,
+                    buffer_capacity=cluster.config.output_buffer_bytes,
+                )
+                # Output pages become visible only when the producing
+                # quantum's virtual time completes (on_task_quantum), so
+                # data flow cannot outrun the simulated clock.
+                if (
+                    fragment.output_kind is plan.ExchangeKind.ROUND_ROBIN
+                    and cluster.config.writer_scaling_enabled
+                ):
+                    # Adaptive writer scaling (Sec. IV-E3): start with one
+                    # active writer; scale up on buffer pressure.
+                    task.output_buffer.active_partitions = 1
+                    task.output_buffer.pressure_threshold = (
+                        cluster.config.writer_scaling_utilization_threshold
+                    )
+                stage.tasks.append(task)
+        # Second pass: register producers now every stage exists.
+        for fragment_id, stage in self.stages.items():
+            consumer = self._consumers.get(fragment_id)
+            if consumer is None:
+                continue
+            consumer_stage_id, key = consumer
+            consumer_stage = self.stages[consumer_stage_id]
+            for consumer_task in consumer_stage.tasks:
+                client = consumer_task.exchange_clients[key]
+                for _ in stage.tasks:
+                    client.register_producer()
+        # Scan schedules.
+        for fragment_id, stage in self.stages.items():
+            scan_nodes = [
+                n
+                for n in plan.walk_plan(stage.fragment.root)
+                if isinstance(n, plan.TableScanNode)
+            ]
+            for scan_index, node in enumerate(scan_nodes):
+                connector = cluster.metadata.connector(node.table.catalog)
+                layout = node.layout
+                if layout is None:
+                    layout = cluster.metadata.table_layouts(
+                        node.table, node.constraint, []
+                    )[0]
+                stage.scan_schedules.append(
+                    _ScanSchedule(
+                        scan_index, connector, connector.split_source(layout)
+                    )
+                )
+
+    def _start_phased(self) -> None:
+        # Phased execution (Sec. IV-D1): "if a hash-join is executed in
+        # phased mode, the tasks to schedule streaming of the left side
+        # will not be scheduled until the hash table is built". We gate
+        # the *source* stages feeding each join's probe side on the
+        # completion of the fragments feeding its build side.
+        self._phase_gates = self._compute_phase_gates()
+        for stage in self.stages.values():
+            if not self._phase_blocked(stage):
+                self._start_stage(stage)
+
+    def _subtree_fragments(self, fragment_id: int) -> set[int]:
+        out = {fragment_id}
+        for child in self.fragmented.fragments[fragment_id].remote_source_ids:
+            out |= self._subtree_fragments(child)
+        return out
+
+    def _compute_phase_gates(self) -> dict[int, set[int]]:
+        """fragment id -> build fragments that must complete before it
+        may start."""
+        gates: dict[int, set[int]] = {}
+        for fragment in self.fragmented.fragments.values():
+            for node in plan.walk_plan(fragment.root):
+                if not isinstance(node, plan.JoinNode) or not node.criteria:
+                    continue
+                build_feeds = {
+                    fid
+                    for n in plan.walk_plan(node.right)
+                    if isinstance(n, plan.RemoteSourceNode)
+                    for fid in n.fragment_ids
+                }
+                probe_feeds = {
+                    fid
+                    for n in plan.walk_plan(node.left)
+                    if isinstance(n, plan.RemoteSourceNode)
+                    for fid in n.fragment_ids
+                }
+                if not build_feeds or not probe_feeds:
+                    continue
+                build_subtrees: set[int] = set()
+                for build in build_feeds:
+                    build_subtrees |= self._subtree_fragments(build)
+                for probe in probe_feeds:
+                    for dependent in self._subtree_fragments(probe):
+                        if dependent in build_subtrees:
+                            continue  # guard against gating cycles
+                        if self.fragmented.fragments[dependent].partitioning == "source":
+                            gates.setdefault(dependent, set()).update(build_feeds)
+        return gates
+
+    def _phase_blocked(self, stage: StageExecution) -> bool:
+        for build_id in getattr(self, "_phase_gates", {}).get(stage.id, ()):
+            build_stage = self.stages.get(build_id)
+            if build_stage is not None and not build_stage.completed:
+                return True
+        return False
+
+    def _start_stage(self, stage: StageExecution) -> None:
+        if stage.started:
+            return
+        stage.started = True
+        for task in stage.tasks:
+            task.worker.add_task(task)
+        if stage.scan_schedules:
+            for schedule in stage.scan_schedules:
+                self._schedule_split_batch(stage, schedule)
+        else:
+            for task in stage.tasks:
+                task.no_more_splits()
+
+    # ------------------------------------------------------------------
+    # Split scheduling (Sec. IV-D3)
+    # ------------------------------------------------------------------
+
+    def _schedule_split_batch(self, stage: StageExecution, schedule: _ScanSchedule) -> None:
+        def fetch() -> None:
+            if self.state != "running" or schedule.done:
+                return
+            batch = schedule.split_source.get_next_batch(_SPLIT_BATCH_SIZE)
+            for split in batch:
+                self._assign_split(stage, schedule, split)
+            if schedule.split_source.is_finished():
+                schedule.done = True
+                if all(s.done for s in stage.scan_schedules):
+                    for task in stage.tasks:
+                        task.no_more_splits()
+                        task.worker.kick(task)
+                else:
+                    for task in stage.tasks:
+                        task.scan_operators[schedule.scan_index].no_more_splits()
+                        task.worker.kick(task)
+            else:
+                self.cluster.sim.schedule(_SPLIT_BATCH_LATENCY_MS, fetch)
+
+        self.cluster.sim.schedule(_SPLIT_BATCH_LATENCY_MS, fetch)
+
+    def _assign_split(self, stage: StageExecution, schedule: _ScanSchedule, split) -> None:
+        tasks = [t for t in stage.tasks if not t.failed]
+        if not tasks:
+            return
+        if not split.remotely_accessible and split.addresses:
+            # Shared-nothing: the split must run where its data lives.
+            candidates = [
+                t for t in tasks if t.worker.name in split.addresses
+            ]
+            if not candidates:
+                self.fail(
+                    PrestoError(
+                        f"No worker available for node-local split on {split.addresses}"
+                    )
+                )
+                return
+        elif split.addresses and self.cluster.config.prefer_local_reads:
+            local = [t for t in tasks if t.worker.name in split.addresses]
+            candidates = local or tasks
+        else:
+            candidates = tasks
+        # Shortest-queue assignment (Sec. IV-D3: "the coordinator simply
+        # assigns new splits to tasks with the shortest queue").
+        target = min(
+            candidates,
+            key=lambda t: t.scan_operators[schedule.scan_index].queued_splits,
+        )
+        target.scan_operators[schedule.scan_index].add_split(split)
+        schedule.assigned += 1
+        target.worker.kick(target)
+
+    # ------------------------------------------------------------------
+    # Shuffle transfer service (Sec. IV-E2)
+    # ------------------------------------------------------------------
+
+    def _pump_transfers(self, task: SimTask, partition: int) -> None:
+        key = (task.task_id, partition)
+        if key in self._transfer_inflight:
+            return
+        consumer = self._consumers.get(task.fragment.id)
+        if consumer is None:
+            self._schedule_client_poll()
+            return
+        delivery = task.output_buffer.poll(partition)
+        if delivery is None:
+            if task.output_buffer.is_drained(partition) and key not in self._transfer_eof:
+                self._transfer_eof.add(key)
+                self._deliver_eof(task, partition)
+            return
+        self._transfer_inflight.add(key)
+        cost = self.cluster.cost_model.transfer_ms(delivery.bytes)
+        self.cluster.network_bytes += delivery.bytes
+
+        def deliver() -> None:
+            if self.cluster.roll_transient_failure():
+                # Transient shuffle error: retried at a low level without
+                # failing the query (Sec. IV-G).
+                self.cluster.transient_retries += 1
+                self.cluster.sim.schedule(
+                    self.cluster.config.transient_retry_delay_ms, deliver
+                )
+                return
+            self._transfer_inflight.discard(key)
+            consumer_stage_id, client_key = consumer
+            consumer_task = self.stages[consumer_stage_id].tasks[partition]
+            consumer_task.exchange_clients[client_key].deliver(delivery.page)
+            consumer_task.worker.kick(consumer_task)
+            # Space was freed on the producer: it may be unblocked now.
+            task.worker.kick(task)
+            self._pump_transfers(task, partition)
+
+        self.cluster.sim.schedule(cost, deliver)
+
+    def _deliver_eof(self, task: SimTask, partition: int) -> None:
+        consumer = self._consumers.get(task.fragment.id)
+        if consumer is None:
+            return
+        consumer_stage_id, client_key = consumer
+        consumer_task = self.stages[consumer_stage_id].tasks[partition]
+        client = consumer_task.exchange_clients[client_key]
+
+        def eof() -> None:
+            client.producer_finished()
+            consumer_task.worker.kick(consumer_task)
+
+        self.cluster.sim.schedule(self.cluster.cost_model.network_latency_ms, eof)
+
+    # -- client-side result consumption ------------------------------------------
+
+    def _schedule_client_poll(self) -> None:
+        if self._client_poll_scheduled or self.state != "running":
+            return
+        self._client_poll_scheduled = True
+        root_task = self.stages[self.fragmented.root_fragment.id].tasks[0]
+
+        def poll() -> None:
+            self._client_poll_scheduled = False
+            if self.state != "running":
+                return
+            delivery = root_task.output_buffer.poll(0)
+            if delivery is not None:
+                self.result_pages.append(delivery.page)
+                root_task.worker.kick(root_task)
+                # Model client download bandwidth (slow BI clients hold
+                # buffers, Sec. IV-E2).
+                if self.client_bandwidth:
+                    delay = delivery.bytes / self.client_bandwidth
+                else:
+                    delay = 0.1
+                self._client_poll_scheduled = True
+
+                def next_poll() -> None:
+                    self._client_poll_scheduled = False
+                    self._schedule_client_poll()
+
+                self.cluster.sim.schedule(delay, next_poll)
+                return
+            self._check_done()
+
+        self.cluster.sim.schedule(0.1, poll)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_task_quantum(self, task: SimTask) -> None:
+        """Called by the cluster after every task quantum: memory, stage
+        completion, phased scheduling, completion checks."""
+        if self.state != "running":
+            return
+        stage = self.stages.get(task.fragment.id)
+        if stage is None:
+            return
+        # Adaptive writer scaling (Sec. IV-E3): when a stage feeding a
+        # writer keeps its output buffer above the threshold, add writers.
+        buffer = task.output_buffer
+        if (
+            task.fragment.output_kind is plan.ExchangeKind.ROUND_ROBIN
+            and buffer.active_partitions < buffer.partition_count
+            and buffer.take_pressure()
+        ):
+            buffer.active_partitions += 1
+            self.writer_scale_ups += 1
+        # Ship pages produced during the quantum (and EOFs of finished
+        # tasks) to consumers.
+        for partition in range(task.output_buffer.partition_count):
+            self._pump_transfers(task, partition)
+        if stage.check_completed():
+            if self.phased:
+                for other in self.stages.values():
+                    if not other.started and not self._phase_blocked(other):
+                        self._start_stage(other)
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if self.state != "running":
+            return
+        root = self.stages.get(self.fragmented.root_fragment.id)
+        if root is None:
+            return
+        if root.all_tasks_finished():
+            root_task = root.tasks[0]
+            # Drain any remaining client output.
+            while True:
+                delivery = root_task.output_buffer.poll(0)
+                if delivery is None:
+                    break
+                self.result_pages.append(delivery.page)
+            if root_task.output_buffer.finished:
+                self._finish()
+
+    def _finish(self) -> None:
+        if self.state != "running":
+            return
+        self.state = "finished"
+        self.finished_at = self.cluster.sim.now
+        self._cleanup()
+        if self.on_finish is not None:
+            self.on_finish(self)
+
+    def fail(self, error: Exception) -> None:
+        if self.state in ("finished", "failed"):
+            return
+        self.state = "failed"
+        self.error = error
+        self.finished_at = self.cluster.sim.now
+        for stage in self.stages.values():
+            for task in stage.tasks:
+                task.fail()
+        self._cleanup()
+        if self.on_finish is not None:
+            self.on_finish(self)
+
+    def _cleanup(self) -> None:
+        for stage in self.stages.values():
+            for task in stage.tasks:
+                task.worker.remove_task(task)
+        self.cluster.memory_manager.release_query(self.query_id)
+        self.cluster.on_query_memory_released()
+
+    # -- results -----------------------------------------------------------------
+
+    def rows(self) -> list[tuple]:
+        out: list[tuple] = []
+        for page in self.result_pages:
+            out.extend(page.rows())
+        return out
+
+    @property
+    def wall_time_ms(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.finished_at if self.finished_at is not None else self.cluster.sim.now
+        return end - self.started_at
+
+    @property
+    def queued_time_ms(self) -> float:
+        start = self.started_at if self.started_at is not None else self.cluster.sim.now
+        return start - self.created_at
+
+    @property
+    def total_cpu_ms(self) -> float:
+        return sum(
+            task.stats.cpu_ms for stage in self.stages.values() for task in stage.tasks
+        )

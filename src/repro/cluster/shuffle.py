@@ -1,0 +1,292 @@
+"""In-memory buffered shuffle (paper Sec. IV-E2).
+
+Data produced by tasks is stored in output buffers for consumption by
+other workers; consumers pull over simulated HTTP long-polling with
+implicit acknowledgement (a page's buffer space is released only when
+the consumer requests the next segment). Full output buffers stall
+split execution (the sink stops accepting input, the driver blocks, the
+MLFQ deprioritizes the task) — this is the end-to-end backpressure the
+paper credits with protecting the cluster from slow clients.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.connectors.hashing import stable_hash
+from repro.exec.operator import Operator
+from repro.exec.operators.sorting import sort_rows
+from repro.exec.page import Page, page_from_rows
+from repro.planner.nodes import ExchangeKind, Ordering
+
+DEFAULT_BUFFER_CAPACITY = 8 * 1024 * 1024  # bytes per output buffer
+
+
+@dataclass
+class _Delivery:
+    page: Page
+    bytes: int
+
+
+def _materialize(page: Page) -> Page:
+    from repro.exec.blocks import LazyBlock
+
+    if not any(isinstance(b, LazyBlock) for b in page.blocks):
+        return page
+    return Page(
+        [b.load() if isinstance(b, LazyBlock) else b for b in page.blocks],
+        page.row_count,
+    )
+
+
+class OutputBuffer:
+    """Per-task output buffer, partitioned by destination."""
+
+    def __init__(
+        self,
+        partition_count: int,
+        capacity_bytes: int = DEFAULT_BUFFER_CAPACITY,
+    ):
+        self.partition_count = partition_count
+        # Round-robin sinks spread data over only this many partitions;
+        # the coordinator raises it for adaptive writer scaling (IV-E3).
+        self.active_partitions = partition_count
+        self.capacity_bytes = capacity_bytes
+        self.pressure_threshold = 0.5
+        self.pressure_seen = False
+        self.queues: list[deque[_Delivery]] = [deque() for _ in range(partition_count)]
+        self.buffered_bytes = 0
+        self.finished = False
+        self.total_pages = 0
+        self.total_bytes = 0
+        # Peak utilization tracking (drives adaptive writer scaling).
+        self.utilization_samples: list[float] = []
+        self.on_data: Optional[Callable[[int], None]] = None
+
+    @property
+    def utilization(self) -> float:
+        return self.buffered_bytes / self.capacity_bytes if self.capacity_bytes else 0.0
+
+    def is_full(self) -> bool:
+        return self.buffered_bytes >= self.capacity_bytes
+
+    def add(self, partition: int, page: Page) -> None:
+        size = page.size_bytes()
+        self.queues[partition].append(_Delivery(page, size))
+        self.buffered_bytes += size
+        self.total_pages += 1
+        self.total_bytes += size
+        self.utilization_samples.append(self.utilization)
+        if self.utilization > self.pressure_threshold:
+            self.pressure_seen = True
+        if self.on_data is not None:
+            self.on_data(partition)
+
+    def take_pressure(self) -> bool:
+        """Return-and-clear: did utilization cross the threshold since the
+        last check? (Consumed by adaptive writer scaling, Sec. IV-E3.)"""
+        seen = self.pressure_seen
+        self.pressure_seen = False
+        return seen
+
+    def poll(self, partition: int) -> Optional[_Delivery]:
+        """Take the next page for ``partition``; releases its space (the
+        implicit ack of the long-polling protocol)."""
+        queue = self.queues[partition]
+        if not queue:
+            return None
+        delivery = queue.popleft()
+        self.buffered_bytes -= delivery.bytes
+        return delivery
+
+    def set_finished(self) -> None:
+        self.finished = True
+        if self.on_data is not None:
+            for partition in range(self.partition_count):
+                self.on_data(partition)
+
+    def is_drained(self, partition: int) -> bool:
+        return self.finished and not self.queues[partition]
+
+
+class ExchangeSinkOperator(Operator):
+    """Terminal operator of a fragment: routes pages into the output
+    buffer according to the exchange kind."""
+
+    name = "ExchangeSink"
+
+    def __init__(
+        self,
+        buffer: OutputBuffer,
+        kind: ExchangeKind,
+        partition_channels: Sequence[int] = (),
+    ):
+        super().__init__()
+        self.buffer = buffer
+        self.kind = kind
+        self.partition_channels = list(partition_channels)
+        self._finished = False
+        self._round_robin_counter = -1
+
+    def needs_input(self) -> bool:
+        # Backpressure: a full buffer stalls the pipeline (Sec. IV-E2).
+        return not self._finished and not self.buffer.is_full()
+
+    def is_blocked(self) -> bool:
+        return not self._finished and self.buffer.is_full()
+
+    def add_input(self, page: Page) -> None:
+        self.record_input(page)
+        # Serialization forces lazy columns to materialize: a page cannot
+        # cross the wire undecoded (dictionary/RLE encodings survive —
+        # the paper ships compressed intermediates, Sec. V-E).
+        page = _materialize(page)
+        buffer = self.buffer
+        if self.kind in (ExchangeKind.GATHER,):
+            buffer.add(0, page)
+            return
+        if self.kind is ExchangeKind.REPLICATE:
+            for partition in range(buffer.partition_count):
+                buffer.add(partition, page)
+            return
+        if self.kind is ExchangeKind.ROUND_ROBIN:
+            active = max(1, min(buffer.active_partitions, buffer.partition_count))
+            self._round_robin_counter += 1
+            buffer.add(self._round_robin_counter % active, page)
+            return
+        # Hash repartition on the partition channels.
+        count = buffer.partition_count
+        if count == 1:
+            buffer.add(0, page)
+            return
+        assignments: list[list[int]] = [[] for _ in range(count)]
+        key_columns = [page.block(c).to_values() for c in self.partition_channels]
+        for row in range(page.row_count):
+            key = tuple(col[row] for col in key_columns)
+            assignments[stable_hash(key) % count].append(row)
+        for partition, positions in enumerate(assignments):
+            if positions:
+                buffer.add(partition, page.copy_positions(positions))
+
+    def get_output(self) -> Optional[Page]:
+        return None
+
+    def finish(self) -> None:
+        if not self._finished:
+            self._finished = True
+            self.buffer.set_finished()
+
+    def is_finished(self) -> bool:
+        return self._finished
+
+    def retained_bytes(self) -> int:
+        return self.buffer.buffered_bytes
+
+
+class ExchangeClient:
+    """Consumer-side input for one remote source: receives pages shipped
+    from all producing tasks of the upstream fragments."""
+
+    def __init__(self, symbols: Sequence = (), ordering: Sequence[Ordering] = ()):
+        self.pages: deque[Page] = deque()
+        self.producers_expected = 0
+        self.producers_finished = 0
+        self.buffered_bytes = 0
+        self.ordering = list(ordering)
+        self.symbols = list(symbols)
+        self.types = [s.type for s in self.symbols]
+        # Ordered merge: hold pages until all producers finish.
+        self._merge_rows: list[tuple] = []
+        self._merged = False
+
+    def register_producer(self) -> None:
+        self.producers_expected += 1
+
+    def producer_finished(self) -> None:
+        self.producers_finished += 1
+
+    @property
+    def all_finished(self) -> bool:
+        return (
+            self.producers_expected > 0
+            and self.producers_finished >= self.producers_expected
+        )
+
+    def deliver(self, page: Page) -> None:
+        if self.ordering:
+            self._merge_rows.extend(page.rows())
+            return
+        self.pages.append(page)
+        self.buffered_bytes += page.size_bytes()
+
+    def poll(self) -> Optional[Page]:
+        if self.ordering:
+            if not self.all_finished:
+                return None
+            if not self._merged:
+                self._merged = True
+                orderings = [
+                    (self._channel(o), o.ascending, o.nulls_first)
+                    for o in self.ordering
+                ]
+                rows = sort_rows(self._merge_rows, orderings)
+                self._merge_rows = []
+                for start in range(0, len(rows), 4096):
+                    self.pages.append(
+                        page_from_rows(self.types, rows[start : start + 4096])
+                    )
+            if self.pages:
+                return self.pages.popleft()
+            return None
+        if self.pages:
+            page = self.pages.popleft()
+            self.buffered_bytes -= page.size_bytes()
+            return page
+        return None
+
+    def _channel(self, ordering: Ordering) -> int:
+        for i, symbol in enumerate(self.symbols):
+            if symbol.name == ordering.symbol.name:
+                return i
+        raise KeyError(ordering.symbol.name)
+
+    def is_drained(self) -> bool:
+        return self.all_finished and not self.pages and not self._merge_rows
+
+
+class ExchangeSourceOperator(Operator):
+    """Source operator reading from an ExchangeClient."""
+
+    name = "ExchangeSource"
+
+    def __init__(self, client: ExchangeClient):
+        super().__init__()
+        self.client = client
+
+    def needs_input(self) -> bool:
+        return False
+
+    def add_input(self, page: Page) -> None:
+        raise AssertionError("ExchangeSource takes no input")
+
+    def get_output(self) -> Optional[Page]:
+        page = self.client.poll()
+        if page is not None:
+            self.record_output(page)
+        return page
+
+    def finish(self) -> None:
+        pass
+
+    def is_finished(self) -> bool:
+        return self.client.is_drained()
+
+    def is_blocked(self) -> bool:
+        if self.client.ordering and not self.client.all_finished:
+            return True
+        return not self.client.pages and not self.client.all_finished
+
+    def retained_bytes(self) -> int:
+        return self.client.buffered_bytes

@@ -1,0 +1,60 @@
+"""Discrete-event simulation core: a virtual clock and an event heap."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class Simulation:
+    """Minimal deterministic event loop over virtual milliseconds."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay_ms: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at now + delay_ms."""
+        at = self.now + max(0.0, delay_ms)
+        heapq.heappush(self._heap, (at, next(self._counter), action))
+
+    def schedule_at(self, time_ms: float, action: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (max(time_ms, self.now), next(self._counter), action))
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the heap is empty."""
+        if not self._heap:
+            return False
+        at, _, action = heapq.heappop(self._heap)
+        self.now = max(self.now, at)
+        self.events_processed += 1
+        action()
+        return True
+
+    def run(
+        self,
+        until_ms: float | None = None,
+        stop_when: Callable[[], bool] | None = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        """Drain events until the heap empties, the horizon passes, or
+        ``stop_when`` becomes true."""
+        processed = 0
+        while self._heap:
+            if stop_when is not None and stop_when():
+                return
+            at = self._heap[0][0]
+            if until_ms is not None and at > until_ms:
+                self.now = until_ms
+                return
+            self.step()
+            processed += 1
+            if processed >= max_events:
+                raise RuntimeError("simulation exceeded event budget")

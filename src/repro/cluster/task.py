@@ -1,0 +1,251 @@
+"""Simulated tasks: one fragment instance on one worker (paper Sec. IV-D).
+
+A task owns the fragment's pipelines (drivers). The planner here
+subclasses the local execution planner, replacing table scans with
+dynamically-fed scan operators (splits arrive from the coordinator's
+split scheduler, Sec. IV-D3) and remote sources / the fragment root
+with exchange operators.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.catalog.metadata import Metadata
+from repro.cluster.cost import CostModel
+from repro.cluster.shuffle import (
+    ExchangeClient,
+    ExchangeSinkOperator,
+    ExchangeSourceOperator,
+    OutputBuffer,
+)
+from repro.exec.driver import Driver
+from repro.exec.local import LocalExecutionPlanner, _channel
+from repro.exec.operators.core import TableScanOperator
+from repro.planner import nodes as plan
+from repro.planner.fragmenter import PlanFragment
+
+
+class SimTaskPlanner(LocalExecutionPlanner):
+    """Lowers one fragment into pipelines with exchange endpoints."""
+
+    def __init__(self, metadata: Metadata, task: "SimTask"):
+        super().__init__(metadata)
+        self.task = task
+
+    def plan_fragment(self, fragment: PlanFragment) -> list[Driver]:
+        operators, symbols = self.visit(fragment.root)
+        sink = ExchangeSinkOperator(
+            self.task.output_buffer,
+            fragment.output_kind,
+            [_channel(symbols, s) for s in fragment.output_keys],
+        )
+        operators.append(sink)
+        self.pipelines.append(operators)
+        return [Driver(ops) for ops in self.pipelines]
+
+    def _visit_TableScanNode(self, node: plan.TableScanNode):
+        connector = self.metadata.connector(node.table.catalog)
+        columns = [node.assignments[s] for s in node.outputs]
+        scan = TableScanOperator(connector, columns)
+        self.task.scan_operators.append(scan)
+        return [scan], list(node.outputs)
+
+    def _visit_RemoteSourceNode(self, node: plan.RemoteSourceNode):
+        client = self.task.exchange_clients[tuple(node.fragment_ids)]
+        return [ExchangeSourceOperator(client)], list(node.outputs)
+
+    def _visit_OutputNode(self, node: plan.OutputNode):
+        # The root fragment's OutputNode maps symbols to client columns.
+        operators, symbols = self.visit(node.source)
+        channels = [_channel(symbols, s) for s in node.outputs]
+        from repro.exec.local import ChannelSelectOperator
+
+        operators.append(ChannelSelectOperator(channels))
+        return operators, list(node.outputs)
+
+
+@dataclass
+class TaskStats:
+    cpu_ms: float = 0.0
+    quanta: int = 0
+    splits_completed: int = 0
+    rows_produced: int = 0
+    memory_stalled_ms: float = 0.0
+
+
+class SimTask:
+    """One task: fragment pipelines + split queue + output buffer."""
+
+    def __init__(
+        self,
+        task_id: str,
+        query_id: str,
+        fragment: PlanFragment,
+        worker: "object",
+        metadata: Metadata,
+        partition: int,
+        output_partition_count: int,
+        remote_source_symbols: dict[tuple, tuple],
+        cost_model: CostModel,
+        buffer_capacity: int,
+    ):
+        self.task_id = task_id
+        self.query_id = query_id
+        self.fragment = fragment
+        self.worker = worker
+        self.partition = partition
+        self.cost_model = cost_model
+        self.scan_operators: list[TableScanOperator] = []
+        self.exchange_clients: dict[tuple, ExchangeClient] = {}
+        for key, (symbols, ordering) in remote_source_symbols.items():
+            self.exchange_clients[key] = ExchangeClient(symbols, ordering)
+        self.output_buffer = OutputBuffer(output_partition_count, buffer_capacity)
+        planner = SimTaskPlanner(metadata, self)
+        self.drivers = planner.plan_fragment(fragment)
+        self.stats = TaskStats()
+        self.no_more_splits_flag = False
+        self.failed = False
+        self.memory_blocked = False
+        self._last_user_retained = 0
+        self._last_system_retained = 0
+        self._last_io_ms = 0.0
+        # MLFQ bookkeeping lives on the worker; tasks carry their CPU time.
+
+    # -- splits --------------------------------------------------------------
+
+    @property
+    def queued_splits(self) -> int:
+        return sum(op.queued_splits for op in self.scan_operators)
+
+    def add_split(self, split) -> None:
+        # All scans in the fragment share the split stream only when there
+        # is a single scan; multi-scan fragments (co-located joins) get
+        # splits routed by table, handled by the scheduler.
+        raise AssertionError("use add_split_to(scan_index, split)")
+
+    def add_split_to(self, scan_index: int, split) -> None:
+        self.scan_operators[scan_index].add_split(split)
+
+    def no_more_splits(self) -> None:
+        self.no_more_splits_flag = True
+        for op in self.scan_operators:
+            op.no_more_splits()
+
+    # -- execution ------------------------------------------------------------
+
+    def is_runnable(self) -> bool:
+        return not self.failed and not self.memory_blocked and not self.is_finished()
+
+    def run_quantum(self, quantum_ms: float = 1000.0) -> tuple[float, bool]:
+        """Run one scheduling quantum: round-robin driver-loop passes over
+        all of this task's pipelines until the quantum expires or no
+        driver can make progress (cooperative multitasking, Sec. IV-F1).
+
+        Returns (virtual_cost_ms, progressed).
+        """
+        if not self.is_runnable():
+            return 0.0, False
+        rows_before = sum(
+            op.input_rows for d in self.drivers for op in d.operators
+        )
+        start = time.perf_counter()
+        progressed_any = False
+        virtual = 0.0
+        passes = 0
+        while virtual < quantum_ms:
+            progressed = False
+            for driver in self.drivers:
+                if driver.is_finished():
+                    continue
+                if driver.process_once():
+                    progressed = True
+                if driver.is_finished():
+                    driver.close()
+            passes += 1
+            if not progressed:
+                break
+            progressed_any = True
+            python_ms = (time.perf_counter() - start) * 1000
+            rows_now = sum(
+                op.input_rows for d in self.drivers for op in d.operators
+            )
+            virtual = self.cost_model.quantum_cost_ms(
+                python_ms, rows_now - rows_before, passes
+            )
+        # Charge simulated I/O (split time-to-first-byte + bandwidth).
+        io_now = sum(op.io_cost_ms() for op in self.scan_operators)
+        io_delta = io_now - self._last_io_ms
+        self._last_io_ms = io_now
+        if io_delta > 0:
+            virtual += io_delta
+        self.stats.splits_completed = sum(
+            op.completed_splits for op in self.scan_operators
+        )
+        self.stats.cpu_ms += virtual
+        self.stats.quanta += 1
+        return virtual, progressed_any
+
+    # -- memory --------------------------------------------------------------------
+
+    def user_retained_bytes(self) -> int:
+        """Operator state users can reason about from their inputs
+        (hash tables, sort buffers) — 'user memory' per Sec. IV-F2."""
+        return sum(d.retained_bytes() for d in self.drivers)
+
+    def system_retained_bytes(self) -> int:
+        """Implementation byproducts: shuffle buffers."""
+        return self.output_buffer.buffered_bytes + sum(
+            c.buffered_bytes for c in self.exchange_clients.values()
+        )
+
+    def retained_bytes(self) -> int:
+        return self.user_retained_bytes() + self.system_retained_bytes()
+
+    def memory_deltas(self) -> tuple[int, int]:
+        """(user_delta, system_delta) since the last call."""
+        user = self.user_retained_bytes()
+        system = self.system_retained_bytes()
+        user_delta = user - self._last_user_retained
+        system_delta = system - self._last_system_retained
+        self._last_user_retained = user
+        self._last_system_retained = system
+        return user_delta, system_delta
+
+    # -- revocation ---------------------------------------------------------------
+
+    def revocable_bytes(self) -> int:
+        return sum(
+            getattr(op, "revocable_bytes", lambda: 0)()
+            for d in self.drivers
+            for op in d.operators
+        )
+
+    def revoke_memory(self, spill_context=None) -> int:
+        """Ask revocable operators to spill (Sec. IV-F2); returns bytes
+        released."""
+        released = 0
+        for driver in self.drivers:
+            for op in driver.operators:
+                revoke = getattr(op, "revoke", None)
+                if revoke is None:
+                    continue
+                if spill_context is not None and hasattr(op, "spill_context"):
+                    op.spill_context = spill_context
+                released += revoke()
+        return released
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def is_finished(self) -> bool:
+        return all(d.is_finished() for d in self.drivers) or self.failed
+
+    def output_drained(self) -> bool:
+        return self.output_buffer.finished and self.output_buffer.buffered_bytes == 0
+
+    def fail(self) -> None:
+        self.failed = True
+        for driver in self.drivers:
+            driver.close()

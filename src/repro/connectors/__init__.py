@@ -1,0 +1,15 @@
+"""Connector implementations and the Connector API.
+
+The Connector API (paper Sec. III) is composed of four parts: the
+Metadata API, Data Location API, Data Source API, and Data Sink API.
+Connectors shipped with the reproduction:
+
+- ``memory``   — in-memory tables (tests, examples, quickstart)
+- ``tpch``     — on-the-fly TPC-H-style data generator (benchmarks)
+- ``hive``     — simulated shared-storage warehouse: distributed
+  filesystem + metastore + ORC-like columnar files
+- ``raptor``   — shared-nothing storage engine (A/B testing use case)
+- ``shardedsql`` — sharded row-store with shard-level predicate pushdown
+  and secondary indexes (Developer/Advertiser Analytics use case)
+- ``stream``   — Kafka-like append-only topic source
+"""

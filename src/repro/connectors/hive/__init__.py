@@ -1,0 +1,20 @@
+"""Hive-style warehouse connector (paper Sec. II-A/B, V-C/D).
+
+A simulated shared-storage warehouse: a distributed filesystem
+(:mod:`repro.connectors.hive.dfs`), a metastore service
+(:mod:`repro.connectors.hive.metastore`), and an ORC-like columnar file
+format with stripes, min/max statistics, bloom filters, dictionary/RLE
+encodings and lazy reads (:mod:`repro.connectors.hive.format`).
+
+This substitutes for the paper's Facebook data warehouse (HDFS-like
+distributed filesystem + Hive-metastore-like service); it exercises the
+same engine code paths: lazy split enumeration over partitions/files,
+partition pruning, stripe skipping via file statistics, and lazy
+columnar materialization.
+"""
+
+from repro.connectors.hive.connector import HiveConnector
+from repro.connectors.hive.dfs import SimulatedDfs
+from repro.connectors.hive.metastore import Metastore
+
+__all__ = ["HiveConnector", "SimulatedDfs", "Metastore"]

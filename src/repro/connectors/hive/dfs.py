@@ -1,0 +1,73 @@
+"""Simulated distributed filesystem.
+
+An HDFS-like namespace mapping paths to immutable file objects. Each
+file records the hosts holding its replicas (for locality-aware
+scheduling) and a size so the cluster simulation can model read
+latency/bandwidth. In shared-storage mode (the Facebook warehouse
+deployment of Sec. IV-D2) replicas live on storage hosts distinct from
+the workers, so every read is remote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConnectorError
+
+
+@dataclass
+class DfsFile:
+    path: str
+    payload: object  # the (structured) file contents
+    size_bytes: int
+    replica_hosts: tuple[str, ...] = ()
+
+
+class SimulatedDfs:
+    """Path -> file mapping with directory listing."""
+
+    def __init__(self, replica_hosts: Iterable[str] = (), replication: int = 3):
+        self._files: dict[str, DfsFile] = {}
+        self.replica_hosts = list(replica_hosts)
+        self.replication = replication
+        self._next_replica = 0
+        self.reads = 0
+        self.bytes_read = 0
+
+    def write(self, path: str, payload: object, size_bytes: int) -> DfsFile:
+        replicas: tuple[str, ...] = ()
+        if self.replica_hosts:
+            chosen = []
+            for _ in range(min(self.replication, len(self.replica_hosts))):
+                chosen.append(self.replica_hosts[self._next_replica % len(self.replica_hosts)])
+                self._next_replica += 1
+            replicas = tuple(chosen)
+        file = DfsFile(path, payload, size_bytes, replicas)
+        self._files[path] = file
+        return file
+
+    def read(self, path: str) -> DfsFile:
+        try:
+            file = self._files[path]
+        except KeyError:
+            raise ConnectorError(f"DFS file not found: {path}")
+        self.reads += 1
+        self.bytes_read += file.size_bytes
+        return file
+
+    def stat(self, path: str) -> DfsFile | None:
+        """Metadata-only access: does not count as a data read."""
+        return self._files.get(path)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def list_files(self, prefix: str) -> list[DfsFile]:
+        return [f for p, f in sorted(self._files.items()) if p.startswith(prefix)]
+
+    def total_bytes(self, prefix: str = "") -> int:
+        return sum(f.size_bytes for f in self.list_files(prefix))

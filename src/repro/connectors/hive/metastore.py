@@ -1,0 +1,117 @@
+"""Metastore service: schemas, partitioned tables, statistics.
+
+The paper's warehouse stores "metadata in a separate service" with APIs
+similar to the Hive metastore. Tables may be partitioned on a suffix of
+their columns; each partition maps to a directory of files in the DFS.
+Enumerating partitions and listing files can be slow at scale, which is
+why split enumeration is lazy (Sec. IV-D3) — the simulated metastore
+tracks call counts so tests can assert that behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.catalog import Column, TableStatistics
+from repro.errors import SchemaNotFoundError, TableNotFoundError
+from repro.types import Type
+
+
+@dataclass
+class HivePartition:
+    """One partition: its partition-column values and its file paths."""
+
+    values: tuple
+    location: str
+    file_paths: list[str] = field(default_factory=list)
+
+
+@dataclass
+class HiveTable:
+    schema: str
+    name: str
+    columns: list[Column]
+    # Partition columns are a subset of ``columns`` (by name).
+    partition_columns: list[str] = field(default_factory=list)
+    partitions: dict[tuple, HivePartition] = field(default_factory=dict)
+    # Unpartitioned tables store files directly.
+    file_paths: list[str] = field(default_factory=list)
+    statistics: TableStatistics = field(default_factory=TableStatistics.empty)
+    # Bucketing: hash-partitioned files within each partition.
+    bucket_columns: list[str] = field(default_factory=list)
+    bucket_count: int = 0
+
+    @property
+    def data_columns(self) -> list[Column]:
+        return [c for c in self.columns if c.name not in self.partition_columns]
+
+
+class Metastore:
+    """In-memory Hive-metastore-like service."""
+
+    def __init__(self):
+        self._schemas: dict[str, dict[str, HiveTable]] = {"default": {}}
+        self.partition_listings = 0
+        self.file_listings = 0
+
+    # -- schemas ----------------------------------------------------------
+
+    def create_schema(self, name: str) -> None:
+        self._schemas.setdefault(name, {})
+
+    def list_schemas(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def _schema(self, name: str) -> dict[str, HiveTable]:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise SchemaNotFoundError(f"Schema not found: {name}")
+
+    # -- tables ------------------------------------------------------------
+
+    def create_table(self, table: HiveTable) -> None:
+        self._schema(table.schema)[table.name] = table
+
+    def drop_table(self, schema: str, name: str) -> None:
+        self._schema(schema).pop(name, None)
+
+    def list_tables(self, schema: str | None = None) -> list[str]:
+        if schema is None:
+            return sorted(
+                t for tables in self._schemas.values() for t in tables
+            )
+        return sorted(self._schema(schema))
+
+    def get_table(self, schema: str, name: str) -> Optional[HiveTable]:
+        return self._schemas.get(schema, {}).get(name)
+
+    def require_table(self, schema: str, name: str) -> HiveTable:
+        table = self.get_table(schema, name)
+        if table is None:
+            raise TableNotFoundError(f"Table not found: {schema}.{name}")
+        return table
+
+    # -- partitions ------------------------------------------------------------
+
+    def add_partition(self, schema: str, name: str, partition: HivePartition) -> None:
+        table = self.require_table(schema, name)
+        table.partitions[partition.values] = partition
+
+    def list_partitions(self, schema: str, name: str) -> list[HivePartition]:
+        self.partition_listings += 1
+        table = self.require_table(schema, name)
+        return list(table.partitions.values())
+
+    def list_partition_files(self, partition: HivePartition) -> list[str]:
+        self.file_listings += 1
+        return list(partition.file_paths)
+
+    # -- statistics -----------------------------------------------------------------
+
+    def update_statistics(self, schema: str, name: str, statistics: TableStatistics) -> None:
+        self.require_table(schema, name).statistics = statistics
+
+    def get_statistics(self, schema: str, name: str) -> TableStatistics:
+        return self.require_table(schema, name).statistics

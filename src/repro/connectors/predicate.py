@@ -1,0 +1,246 @@
+"""Tuple domains: the constraint language connectors understand.
+
+The optimizer converts WHERE conjuncts into per-column :class:`Domain`
+objects (unions of ranges and/or discrete values) so connectors can
+prune partitions, shards, or file stripes (paper Sec. IV-C2). This
+mirrors Presto's ``TupleDomain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+_INF = object()  # sentinel for unbounded range ends
+
+
+@dataclass(frozen=True)
+class Range:
+    """A contiguous interval over an orderable type.
+
+    ``low``/``high`` of None mean unbounded. Bounds are inclusive when the
+    corresponding ``*_inclusive`` flag is set.
+    """
+
+    low: object = None
+    high: object = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    @staticmethod
+    def equal(value) -> "Range":
+        return Range(value, value, True, True)
+
+    @staticmethod
+    def greater_than(value, inclusive: bool = False) -> "Range":
+        return Range(value, None, inclusive, True)
+
+    @staticmethod
+    def less_than(value, inclusive: bool = False) -> "Range":
+        return Range(None, value, True, inclusive)
+
+    def is_single_value(self) -> bool:
+        return (
+            self.low is not None
+            and self.low == self.high
+            and self.low_inclusive
+            and self.high_inclusive
+        )
+
+    def contains_value(self, value) -> bool:
+        if value is None:
+            return False
+        if self.low is not None:
+            if value < self.low:
+                return False
+            if value == self.low and not self.low_inclusive:
+                return False
+        if self.high is not None:
+            if value > self.high:
+                return False
+            if value == self.high and not self.high_inclusive:
+                return False
+        return True
+
+    def overlaps(self, other: "Range") -> bool:
+        if self.low is not None and other.high is not None:
+            if self.low > other.high:
+                return False
+            if self.low == other.high and not (self.low_inclusive and other.high_inclusive):
+                return False
+        if self.high is not None and other.low is not None:
+            if other.low > self.high:
+                return False
+            if other.low == self.high and not (self.high_inclusive and other.low_inclusive):
+                return False
+        return True
+
+    def intersect(self, other: "Range") -> "Range | None":
+        if not self.overlaps(other):
+            return None
+        low, low_inc = self.low, self.low_inclusive
+        if other.low is not None and (low is None or other.low > low):
+            low, low_inc = other.low, other.low_inclusive
+        elif other.low is not None and other.low == low:
+            low_inc = low_inc and other.low_inclusive
+        high, high_inc = self.high, self.high_inclusive
+        if other.high is not None and (high is None or other.high < high):
+            high, high_inc = other.high, other.high_inclusive
+        elif other.high is not None and other.high == high:
+            high_inc = high_inc and other.high_inclusive
+        return Range(low, high, low_inc, high_inc)
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The set of allowed values for one column: ranges plus nullability."""
+
+    ranges: tuple[Range, ...] = (Range(),)  # default: all values
+    null_allowed: bool = True
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def all() -> "Domain":
+        return Domain((Range(),), True)
+
+    @staticmethod
+    def none() -> "Domain":
+        return Domain((), False)
+
+    @staticmethod
+    def single_value(value) -> "Domain":
+        return Domain((Range.equal(value),), False)
+
+    @staticmethod
+    def multiple_values(values: Iterable) -> "Domain":
+        return Domain(tuple(Range.equal(v) for v in sorted(set(values))), False)
+
+    @staticmethod
+    def range(range_: Range) -> "Domain":
+        return Domain((range_,), False)
+
+    @staticmethod
+    def only_null() -> "Domain":
+        return Domain((), True)
+
+    @staticmethod
+    def not_null() -> "Domain":
+        return Domain((Range(),), False)
+
+    # -- predicates ----------------------------------------------------------
+
+    def is_all(self) -> bool:
+        return self.null_allowed and len(self.ranges) == 1 and self.ranges[0] == Range()
+
+    def is_none(self) -> bool:
+        return not self.null_allowed and not self.ranges
+
+    def contains_value(self, value) -> bool:
+        if value is None:
+            return self.null_allowed
+        return any(r.contains_value(value) for r in self.ranges)
+
+    def overlaps_range(self, other: Range) -> bool:
+        """True if any allowed value could fall in ``other`` (stripe skipping)."""
+        return any(r.overlaps(other) for r in self.ranges)
+
+    def single_values(self) -> list | None:
+        """If the domain is a finite value set, return it; else None."""
+        if self.null_allowed:
+            return None
+        values = []
+        for r in self.ranges:
+            if not r.is_single_value():
+                return None
+            values.append(r.low)
+        return values
+
+    def intersect(self, other: "Domain") -> "Domain":
+        ranges = []
+        for a in self.ranges:
+            for b in other.ranges:
+                merged = a.intersect(b)
+                if merged is not None:
+                    ranges.append(merged)
+        return Domain(tuple(ranges), self.null_allowed and other.null_allowed)
+
+    def union(self, other: "Domain") -> "Domain":
+        # Kept simple: concatenate range lists (no normalization needed for
+        # pruning correctness, only precision).
+        return Domain(
+            tuple(self.ranges) + tuple(other.ranges),
+            self.null_allowed or other.null_allowed,
+        )
+
+
+class TupleDomain:
+    """A conjunction of per-column domains. Immutable."""
+
+    __slots__ = ("domains", "_none")
+
+    def __init__(self, domains: dict[str, Domain] | None = None, none: bool = False):
+        self.domains: dict[str, Domain] = dict(domains or {})
+        self._none = none or any(d.is_none() for d in self.domains.values())
+
+    @staticmethod
+    def all() -> "TupleDomain":
+        return TupleDomain()
+
+    @staticmethod
+    def none() -> "TupleDomain":
+        return TupleDomain(none=True)
+
+    def is_all(self) -> bool:
+        return not self._none and not self.domains
+
+    def is_none(self) -> bool:
+        return self._none
+
+    def domain(self, column: str) -> Domain:
+        if self._none:
+            return Domain.none()
+        return self.domains.get(column, Domain.all())
+
+    def intersect(self, other: "TupleDomain") -> "TupleDomain":
+        if self._none or other._none:
+            return TupleDomain.none()
+        merged = dict(self.domains)
+        for column, domain in other.domains.items():
+            if column in merged:
+                merged[column] = merged[column].intersect(domain)
+            else:
+                merged[column] = domain
+        return TupleDomain(merged)
+
+    def contains_row(self, row: dict[str, object]) -> bool:
+        """True if a row (column -> value) satisfies every domain.
+
+        Columns missing from ``row`` are unconstrained-by-absence: they
+        pass. Used for partition and shard pruning.
+        """
+        if self._none:
+            return False
+        for column, domain in self.domains.items():
+            if column in row and not domain.contains_value(row[column]):
+                return False
+        return True
+
+    def filter_columns(self, columns: set[str]) -> "TupleDomain":
+        """Keep only domains on the given columns."""
+        if self._none:
+            return TupleDomain.none()
+        return TupleDomain({c: d for c, d in self.domains.items() if c in columns})
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TupleDomain):
+            return NotImplemented
+        return self._none == other._none and self.domains == other.domains
+
+    def __repr__(self) -> str:
+        if self._none:
+            return "TupleDomain.none()"
+        if not self.domains:
+            return "TupleDomain.all()"
+        return f"TupleDomain({self.domains!r})"

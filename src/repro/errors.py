@@ -1,0 +1,122 @@
+"""Error hierarchy for the engine.
+
+Mirrors Presto's error classification: user errors (bad SQL, bad types),
+insufficient-resource errors (memory limits), and internal errors. Every
+error carries a stable ``code`` so clients and tests can match on it
+without parsing messages.
+"""
+
+from __future__ import annotations
+
+
+class PrestoError(Exception):
+    """Base class for every engine error."""
+
+    code = "GENERIC_INTERNAL_ERROR"
+
+    def __init__(self, message: str, code: str | None = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+    @property
+    def message(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class UserError(PrestoError):
+    """The query (or its inputs) are at fault, not the engine."""
+
+    code = "GENERIC_USER_ERROR"
+
+
+class SyntaxError_(UserError):
+    """SQL text failed to lex or parse.
+
+    Carries the 1-based line/column of the offending token.
+    """
+
+    code = "SYNTAX_ERROR"
+
+    def __init__(self, message: str, line: int = 1, column: int = 1):
+        super().__init__(f"line {line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(UserError):
+    """SQL parsed, but analysis rejected it (unknown column, type mismatch...)."""
+
+    code = "SEMANTIC_ERROR"
+
+
+class TypeError_(SemanticError):
+    code = "TYPE_MISMATCH"
+
+
+class NotSupportedError(UserError):
+    code = "NOT_SUPPORTED"
+
+
+class DivisionByZeroError(UserError):
+    code = "DIVISION_BY_ZERO"
+
+
+class InvalidFunctionArgumentError(UserError):
+    code = "INVALID_FUNCTION_ARGUMENT"
+
+
+class InvalidCastError(UserError):
+    code = "INVALID_CAST_ARGUMENT"
+
+
+class ExceededMemoryLimitError(PrestoError):
+    """Query exceeded its per-node or global user memory limit (Sec. IV-F2)."""
+
+    code = "EXCEEDED_MEMORY_LIMIT"
+
+
+class ExceededTimeLimitError(PrestoError):
+    code = "EXCEEDED_TIME_LIMIT"
+
+
+class QueryQueueFullError(PrestoError):
+    code = "QUERY_QUEUE_FULL"
+
+
+class WorkerFailedError(PrestoError):
+    """A worker node crashed while the query was running (Sec. IV-G)."""
+
+    code = "WORKER_NODE_FAILED"
+
+
+class PlannerError(PrestoError):
+    code = "PLANNER_ERROR"
+
+
+class ConnectorError(PrestoError):
+    code = "CONNECTOR_ERROR"
+
+
+class CatalogNotFoundError(SemanticError):
+    code = "CATALOG_NOT_FOUND"
+
+
+class SchemaNotFoundError(SemanticError):
+    code = "SCHEMA_NOT_FOUND"
+
+
+class TableNotFoundError(SemanticError):
+    code = "TABLE_NOT_FOUND"
+
+
+class ColumnNotFoundError(SemanticError):
+    code = "COLUMN_NOT_FOUND"
+
+
+class FunctionNotFoundError(SemanticError):
+    code = "FUNCTION_NOT_FOUND"
+
+
+class AmbiguousNameError(SemanticError):
+    code = "AMBIGUOUS_NAME"

@@ -1,0 +1,7 @@
+"""Execution engine: columnar pages/blocks, operators, drivers, pipelines.
+
+This package implements the paper's Sec. IV-E (local data flow: driver
+loop, pages, operators) and Sec. V (query processing optimizations:
+expression compilation, lazy data loading, operating on compressed
+data).
+"""

@@ -1,0 +1,131 @@
+"""The driver loop (paper Sec. IV-E1).
+
+"The Presto driver loop is more complex than the popular Volcano (pull)
+model of recursive iterators, but provides important functionality ...
+Every iteration of the loop moves data between all pairs of operators
+that can make progress." A driver owns one chain of operators (one
+pipeline instance); ``process`` runs iterations until the quantum
+expires, the pipeline blocks, or it finishes — so it can be brought to
+a known state before yielding its thread (cooperative multitasking,
+Sec. IV-F1).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Sequence
+
+from repro.exec.operator import Operator
+
+
+class DriverStatus(enum.Enum):
+    RUNNING = "running"    # made progress, more work available
+    BLOCKED = "blocked"    # waiting on an external event
+    FINISHED = "finished"
+
+
+class Driver:
+    def __init__(self, operators: Sequence[Operator]):
+        assert operators, "a driver needs at least one operator"
+        self.operators = list(operators)
+        self._finish_propagated = [False] * len(self.operators)
+        # Thread-CPU accounting for the scheduler (Sec. IV-F1).
+        self.cpu_time_ms = 0.0
+
+    @property
+    def source_operator(self) -> Operator:
+        return self.operators[0]
+
+    @property
+    def sink_operator(self) -> Operator:
+        return self.operators[-1]
+
+    def is_finished(self) -> bool:
+        # The driver is done when its sink is done — upstream operators
+        # may finish early (e.g. a satisfied LIMIT cancels its scan).
+        return self.operators[-1].is_finished()
+
+    def close(self) -> None:
+        """Release upstream operators after early termination."""
+        for operator in self.operators:
+            if not operator.is_finished():
+                operator.finish()
+
+    def process_once(self) -> bool:
+        """One driver-loop iteration; returns True if any data moved or
+        any operator state advanced."""
+        operators = self.operators
+        progressed = False
+        for i in range(len(operators) - 1):
+            upstream, downstream = operators[i], operators[i + 1]
+            # Move a page downstream if both sides are willing.
+            if downstream.needs_input() and not upstream.is_blocked():
+                page = upstream.get_output()
+                if page is not None:
+                    downstream.add_input(page)
+                    progressed = True
+            # Propagate finish.
+            if upstream.is_finished() and not self._finish_propagated[i]:
+                downstream.finish()
+                self._finish_propagated[i] = True
+                progressed = True
+        # Single-operator drivers (rare) just need finish detection.
+        return progressed
+
+    def process(self, quantum_ms: float = 1000.0, max_iterations: int = 10_000) -> DriverStatus:
+        """Run until the quantum expires, progress stops, or finished.
+
+        Mirrors the one-second maximum quanta of Sec. IV-F1: after the
+        quantum the driver returns to the task queue.
+        """
+        start = time.perf_counter()
+        iterations = 0
+        while True:
+            progressed = self.process_once()
+            iterations += 1
+            if self.is_finished():
+                self.close()
+                self.cpu_time_ms += (time.perf_counter() - start) * 1000
+                return DriverStatus.FINISHED
+            if not progressed:
+                self.cpu_time_ms += (time.perf_counter() - start) * 1000
+                return DriverStatus.BLOCKED
+            elapsed_ms = (time.perf_counter() - start) * 1000
+            if elapsed_ms >= quantum_ms or iterations >= max_iterations:
+                self.cpu_time_ms += elapsed_ms
+                return DriverStatus.RUNNING
+
+    def retained_bytes(self) -> int:
+        return sum(op.retained_bytes() for op in self.operators)
+
+
+def run_drivers_to_completion(drivers: Sequence[Driver]) -> None:
+    """Run a set of interdependent drivers until all finish.
+
+    Used by the single-process executor; the simulated cluster schedules
+    drivers through the MLFQ instead.
+    """
+    pending = list(drivers)
+    while pending:
+        progressed = False
+        still_pending = []
+        for driver in pending:
+            status = driver.process(quantum_ms=float("inf"))
+            if status is DriverStatus.FINISHED:
+                progressed = True
+            else:
+                still_pending.append(driver)
+                if status is DriverStatus.RUNNING:
+                    progressed = True
+        if still_pending and not progressed:
+            blocked = [
+                type(op).__name__
+                for d in still_pending
+                for op in d.operators
+                if op.is_blocked()
+            ]
+            from repro.errors import PrestoError
+
+            raise PrestoError(f"Driver deadlock; blocked operators: {blocked}")
+        pending = still_pending

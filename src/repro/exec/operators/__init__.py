@@ -1,0 +1,2 @@
+"""Physical operators: scan, filter/project, joins, aggregation, sort,
+window, limit, set operations, writes, and exchanges."""

@@ -1,0 +1,182 @@
+"""Hash aggregation operator with partial/final decomposition.
+
+Partial aggregation runs before the shuffle and ships opaque
+accumulator states; the final step combines states after repartitioning
+(paper Fig. 3: AggregatePartial / AggregateFinal separated by a
+partitioned shuffle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import PrestoError
+from repro.exec.blocks import make_block, ObjectBlock
+from repro.exec.operator import AccumulatingOperator
+from repro.exec.page import DEFAULT_PAGE_ROWS, Page
+from repro.functions.registry import AggregateFunction
+from repro.planner.nodes import AggregationStep
+from repro.types import Type
+
+
+@dataclass
+class AggregatorSpec:
+    """One aggregate bound to input channels."""
+
+    function: AggregateFunction
+    argument_channels: list[int]
+    output_type: Type
+    distinct: bool = False
+    filter_channel: Optional[int] = None
+
+
+class HashAggregationOperator(AccumulatingOperator):
+    name = "HashAggregation"
+
+    def __init__(
+        self,
+        group_channels: Sequence[int],
+        group_types: Sequence[Type],
+        aggregators: Sequence[AggregatorSpec],
+        step: AggregationStep = AggregationStep.SINGLE,
+    ):
+        super().__init__()
+        self.group_channels = list(group_channels)
+        self.group_types = list(group_types)
+        self.aggregators = list(aggregators)
+        self.step = step
+        if step is not AggregationStep.SINGLE:
+            for agg in self.aggregators:
+                if agg.distinct:
+                    raise PrestoError("DISTINCT aggregates cannot be split across stages")
+        # group key tuple -> list of states (one per aggregator)
+        self._groups: dict[tuple, list] = {}
+        self._retained = 0
+        # Spilled runs of partial state (paper Sec. IV-F2).
+        self._spilled_runs: list[dict[tuple, list]] = []
+        self.spill_context = None
+
+    # -- input ------------------------------------------------------------
+
+    def accumulate(self, page: Page) -> None:
+        key_columns = [page.block(c).to_values() for c in self.group_channels]
+        agg_columns = [
+            [page.block(c).to_values() for c in agg.argument_channels]
+            for agg in self.aggregators
+        ]
+        filter_columns = [
+            page.block(agg.filter_channel).to_values()
+            if agg.filter_channel is not None
+            else None
+            for agg in self.aggregators
+        ]
+        final_step = self.step is AggregationStep.FINAL
+        groups = self._groups
+        for row in range(page.row_count):
+            key = tuple(col[row] for col in key_columns)
+            states = groups.get(key)
+            if states is None:
+                states = [self._new_state(agg) for agg in self.aggregators]
+                groups[key] = states
+                self._retained += 64 + 16 * len(states)
+            for i, agg in enumerate(self.aggregators):
+                mask = filter_columns[i]
+                if mask is not None and mask[row] is not True:
+                    continue
+                if final_step:
+                    partial = agg_columns[i][0][row]
+                    if partial is not None:
+                        states[i] = agg.function.combine(states[i], partial)
+                    continue
+                args = tuple(col[row] for col in agg_columns[i])
+                if agg.function.ignores_nulls and any(
+                    a is None for a in args
+                ) and agg.argument_channels:
+                    continue
+                if agg.distinct:
+                    states[i].add(args)
+                else:
+                    states[i] = agg.function.add(states[i], *args)
+
+    def _new_state(self, agg: AggregatorSpec):
+        if self.step is AggregationStep.FINAL:
+            return agg.function.create()
+        if agg.distinct:
+            return set()
+        return agg.function.create()
+
+    # -- output ---------------------------------------------------------------
+
+    # -- revocation (spilling) ------------------------------------------------
+
+    def revocable_bytes(self) -> int:
+        return self._retained
+
+    def revoke(self) -> int:
+        """Spill the current hash table as a run; merged at output time."""
+        if not self._groups:
+            return 0
+        released = self._retained
+        self._spilled_runs.append(self._groups)
+        if self.spill_context is not None:
+            self.spill_context.write(released)
+        self._groups = {}
+        self._retained = 0
+        return released
+
+    def _merge_spilled(self) -> dict[tuple, list]:
+        groups = self._groups
+        for run in self._spilled_runs:
+            if self.spill_context is not None:
+                self.spill_context.read(64 * len(run))
+            for key, states in run.items():
+                existing = groups.get(key)
+                if existing is None:
+                    groups[key] = states
+                    continue
+                for i, agg in enumerate(self.aggregators):
+                    if agg.distinct:
+                        existing[i] |= states[i]
+                    else:
+                        existing[i] = agg.function.combine(existing[i], states[i])
+        self._spilled_runs = []
+        return groups
+
+    def build_output(self) -> list[Page]:
+        if self._spilled_runs:
+            self._groups = self._merge_spilled()
+        groups = self._groups
+        if not groups and not self.group_channels:
+            # Global aggregation over zero rows still yields one row.
+            groups = {(): [self._new_state(agg) for agg in self.aggregators]}
+        if not groups:
+            return []
+        pages: list[Page] = []
+        keys = list(groups.keys())
+        for start in range(0, len(keys), DEFAULT_PAGE_ROWS):
+            chunk = keys[start : start + DEFAULT_PAGE_ROWS]
+            blocks = []
+            for i, type_ in enumerate(self.group_types):
+                blocks.append(make_block(type_, [k[i] for k in chunk]))
+            for i, agg in enumerate(self.aggregators):
+                values = [self._finalize(agg, groups[key][i]) for key in chunk]
+                if self.step is AggregationStep.PARTIAL:
+                    blocks.append(ObjectBlock(values))
+                else:
+                    blocks.append(make_block(agg.output_type, values))
+            pages.append(Page(blocks, len(chunk)))
+        return pages
+
+    def _finalize(self, agg: AggregatorSpec, state):
+        if agg.distinct:
+            final_state = agg.function.create()
+            for args in state:
+                final_state = agg.function.add(final_state, *args)
+            state = final_state
+        if self.step is AggregationStep.PARTIAL:
+            return state
+        return agg.function.output(state)
+
+    def retained_bytes(self) -> int:
+        return self._retained

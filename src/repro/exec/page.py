@@ -1,0 +1,119 @@
+"""Pages — the unit of data the driver loop moves between operators.
+
+A page is a columnar encoding of a sequence of rows (paper Sec. IV-E1):
+a fixed row count plus one block per column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exec.blocks import Block, LazyBlock, make_block
+from repro.types import Type
+
+# Target rows per page; matches Presto's default of ~1024-8192 positions.
+DEFAULT_PAGE_ROWS = 4096
+
+
+class Page:
+    """An immutable list of equal-length blocks."""
+
+    __slots__ = ("blocks", "row_count")
+
+    def __init__(self, blocks: Sequence[Block], row_count: int | None = None):
+        self.blocks = list(blocks)
+        if row_count is None:
+            if not self.blocks:
+                raise ValueError("row_count required for zero-column pages")
+            row_count = len(self.blocks[0])
+        self.row_count = row_count
+        for block in self.blocks:
+            assert len(block) == row_count, "ragged page"
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    @property
+    def column_count(self) -> int:
+        return len(self.blocks)
+
+    def block(self, channel: int) -> Block:
+        return self.blocks[channel]
+
+    def size_bytes(self) -> int:
+        return sum(block.size_bytes() for block in self.blocks)
+
+    def loaded_size_bytes(self) -> int:
+        """Bytes of data actually materialized (lazy blocks count 0 until read)."""
+        total = 0
+        for block in self.blocks:
+            if isinstance(block, LazyBlock) and not block.is_loaded:
+                continue
+            total += block.size_bytes()
+        return total
+
+    def get_row(self, position: int) -> tuple:
+        return tuple(block.get(position) for block in self.blocks)
+
+    def rows(self) -> Iterable[tuple]:
+        for i in range(self.row_count):
+            yield self.get_row(i)
+
+    def copy_positions(self, positions) -> "Page":
+        return Page([b.copy_positions(positions) for b in self.blocks], len(positions))
+
+    def region(self, start: int, length: int) -> "Page":
+        return Page([b.region(start, length) for b in self.blocks], length)
+
+    def append_column(self, block: Block) -> "Page":
+        assert len(block) == self.row_count
+        return Page(self.blocks + [block], self.row_count)
+
+    def select_channels(self, channels: Sequence[int]) -> "Page":
+        return Page([self.blocks[c] for c in channels], self.row_count)
+
+    def __repr__(self) -> str:
+        return f"Page(rows={self.row_count}, columns={self.column_count})"
+
+
+def page_from_rows(types: Sequence[Type], rows: Sequence[Sequence]) -> Page:
+    """Build a page from row-oriented data (used by tests and VALUES)."""
+    columns = list(zip(*rows)) if rows else [[] for _ in types]
+    if not rows:
+        columns = [[] for _ in types]
+    blocks = [make_block(t, col) for t, col in zip(types, columns)]
+    return Page(blocks, len(rows))
+
+
+def pages_to_rows(pages: Iterable[Page]) -> list[tuple]:
+    """Flatten pages into a list of row tuples (client/result side)."""
+    out: list[tuple] = []
+    for page in pages:
+        out.extend(page.rows())
+    return out
+
+
+def concat_pages(pages: list[Page]) -> Page | None:
+    """Concatenate pages (all with the same schema) into one page."""
+    if not pages:
+        return None
+    if len(pages) == 1:
+        return pages[0]
+    column_count = pages[0].column_count
+    blocks = []
+    for channel in range(column_count):
+        values: list = []
+        for page in pages:
+            values.extend(page.block(channel).to_values())
+        blocks.append(make_block_from_any(values, pages[0].block(channel)))
+    return Page(blocks, sum(p.row_count for p in pages))
+
+
+def make_block_from_any(values: list, template: Block) -> Block:
+    """Build a block for ``values`` matching the template's storage class."""
+    from repro.exec.blocks import ObjectBlock, PrimitiveBlock
+
+    base = template.unwrap() if not isinstance(template, PrimitiveBlock) else template
+    if isinstance(base, PrimitiveBlock):
+        return make_block(base.type, values)
+    return ObjectBlock(values)

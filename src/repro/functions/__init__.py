@@ -1,0 +1,28 @@
+"""Function registry: scalar, aggregate, and window functions.
+
+Presto resolves functions during analysis (paper Sec. IV-B2); the
+registry here supports overloads, generic type variables (needed for
+the higher-order functions of Sec. IV-A such as ``transform`` and
+``reduce``), aggregate accumulators with partial/final split (so
+AggregatePartial / AggregateFinal stages can run on different nodes,
+Fig. 3), and ranking/value window functions.
+"""
+
+from repro.functions.registry import (
+    FUNCTIONS,
+    AggregateFunction,
+    FunctionRegistry,
+    ScalarFunction,
+    WindowFunction,
+)
+from repro.functions.signature import Signature, TypeVariable
+
+__all__ = [
+    "FunctionRegistry",
+    "FUNCTIONS",
+    "ScalarFunction",
+    "AggregateFunction",
+    "WindowFunction",
+    "Signature",
+    "TypeVariable",
+]

@@ -1,0 +1,154 @@
+"""Function signatures with generic type variables.
+
+A signature like ``transform(array(T), function(T, U)) -> array(U)``
+binds ``T``/``U`` against actual argument types during analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import (
+    BIGINT,
+    DOUBLE,
+    INTEGER,
+    UNKNOWN,
+    ArrayType,
+    FunctionType,
+    MapType,
+    RowType,
+    Type,
+    can_coerce,
+)
+
+
+@dataclass(frozen=True)
+class TypeVariable(Type):
+    """A generic placeholder inside a signature, e.g. T."""
+
+    def __str__(self) -> str:
+        return self.name.upper()
+
+
+T = TypeVariable("T")
+U = TypeVariable("U")
+K = TypeVariable("K")
+V = TypeVariable("V")
+
+
+@dataclass(frozen=True)
+class Signature:
+    """One overload of a function."""
+
+    name: str
+    argument_types: tuple[Type, ...]
+    return_type: Type
+    variadic: bool = False  # last argument type repeats
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.argument_types)
+        if self.variadic:
+            args += "..."
+        return f"{self.name}({args}) -> {self.return_type}"
+
+    def arity_matches(self, count: int) -> bool:
+        if self.variadic:
+            return count >= len(self.argument_types) - 1
+        return count == len(self.argument_types)
+
+    def expected_type(self, index: int) -> Type:
+        if self.variadic and index >= len(self.argument_types):
+            return self.argument_types[-1]
+        return self.argument_types[index]
+
+
+def unify(declared: Type, actual: Type, bindings: dict[str, Type]) -> bool:
+    """Try to bind type variables in ``declared`` against ``actual``.
+
+    Mutates ``bindings``. Numeric widening and unknown (NULL) coercion
+    are allowed at the leaves.
+    """
+    if isinstance(declared, TypeVariable):
+        if actual == UNKNOWN:
+            return True  # leave unbound; may be fixed by another argument
+        bound = bindings.get(declared.name)
+        if bound is None:
+            bindings[declared.name] = actual
+            return True
+        if bound == actual or can_coerce(actual, bound):
+            return True
+        if can_coerce(bound, actual):
+            bindings[declared.name] = actual
+            return True
+        return False
+    if isinstance(declared, ArrayType):
+        if actual == UNKNOWN:
+            return True
+        return isinstance(actual, ArrayType) and unify(
+            declared.element, actual.element, bindings
+        )
+    if isinstance(declared, MapType):
+        if actual == UNKNOWN:
+            return True
+        return (
+            isinstance(actual, MapType)
+            and unify(declared.key, actual.key, bindings)
+            and unify(declared.value, actual.value, bindings)
+        )
+    if isinstance(declared, RowType):
+        if not isinstance(actual, RowType) or len(declared.fields) != len(actual.fields):
+            return False
+        return all(
+            unify(d, a, bindings)
+            for (_, d), (_, a) in zip(declared.fields, actual.fields)
+        )
+    if isinstance(declared, FunctionType):
+        # Lambdas are typed by the analyzer after other args bind; an
+        # UNKNOWN placeholder is accepted during the first pass, and a
+        # concrete FunctionType (the typed lambda) binds its argument and
+        # return type variables (e.g. U in transform's function(T) -> U).
+        if actual == UNKNOWN:
+            return True
+        if not isinstance(actual, FunctionType):
+            return False
+        if len(declared.argument_types) != len(actual.argument_types):
+            return False
+        return all(
+            unify(d, a, bindings)
+            for d, a in zip(declared.argument_types, actual.argument_types)
+        ) and unify(declared.return_type, actual.return_type, bindings)
+    if actual == UNKNOWN:
+        return True
+    if declared == actual:
+        return True
+    return can_coerce(actual, declared)
+
+
+def substitute(declared: Type, bindings: dict[str, Type]) -> Type:
+    """Replace bound type variables in ``declared``; unbound become UNKNOWN."""
+    from repro.types import ARRAY, MAP, ROW
+
+    if isinstance(declared, TypeVariable):
+        return bindings.get(declared.name, UNKNOWN)
+    if isinstance(declared, ArrayType):
+        return ARRAY(substitute(declared.element, bindings))
+    if isinstance(declared, MapType):
+        return MAP(substitute(declared.key, bindings), substitute(declared.value, bindings))
+    if isinstance(declared, RowType):
+        return ROW(*[(n, substitute(t, bindings)) for n, t in declared.fields])
+    if isinstance(declared, FunctionType):
+        return FunctionType(
+            "function",
+            tuple(substitute(t, bindings) for t in declared.argument_types),
+            substitute(declared.return_type, bindings),
+        )
+    return declared
+
+
+def numeric_result(a: Type, b: Type) -> Type:
+    """Result type of arithmetic between two numeric types."""
+    if DOUBLE in (a, b):
+        return DOUBLE
+    if BIGINT in (a, b):
+        return BIGINT
+    return INTEGER if (a == INTEGER and b == INTEGER) else BIGINT

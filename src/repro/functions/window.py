@@ -1,0 +1,145 @@
+"""Built-in window functions (rank family and value functions).
+
+Each function receives the full partition (rows in window order), the
+per-row argument tuples, and the peer-group ids derived from the window
+ORDER BY, and returns one value per row. Aggregate functions used with
+OVER() are handled separately by the window operator.
+"""
+
+from __future__ import annotations
+
+from repro.functions.registry import FunctionRegistry, WindowFunction
+from repro.functions.signature import Signature, T
+from repro.types import BIGINT, DOUBLE, Type
+
+
+def _sig(name: str, args: list[Type], ret: Type) -> Signature:
+    return Signature(name, tuple(args), ret)
+
+
+def register(registry: FunctionRegistry) -> None:
+    def window(name, args, ret, process) -> None:
+        registry.add_window(WindowFunction(_sig(name, args, ret), process))
+
+    window("row_number", [], BIGINT, _row_number)
+    window("rank", [], BIGINT, _rank)
+    window("dense_rank", [], BIGINT, _dense_rank)
+    window("percent_rank", [], DOUBLE, _percent_rank)
+    window("cume_dist", [], DOUBLE, _cume_dist)
+    window("ntile", [BIGINT], BIGINT, _ntile)
+    window("lead", [T], T, lambda n, args, peers: _shift(n, args, peers, 1, None))
+    window("lead", [T, BIGINT], T, lambda n, args, peers: _shift_dynamic(n, args, peers, 1))
+    window("lag", [T], T, lambda n, args, peers: _shift(n, args, peers, -1, None))
+    window("lag", [T, BIGINT], T, lambda n, args, peers: _shift_dynamic(n, args, peers, -1))
+    window("first_value", [T], T, _first_value)
+    window("last_value", [T], T, _last_value)
+    window("nth_value", [T, BIGINT], T, _nth_value)
+
+
+def _row_number(n: int, args: list[tuple], peers: list[int]) -> list:
+    return list(range(1, n + 1))
+
+
+def _rank(n: int, args: list[tuple], peers: list[int]) -> list:
+    out = []
+    current_rank = 1
+    for i in range(n):
+        if i > 0 and peers[i] != peers[i - 1]:
+            current_rank = i + 1
+        out.append(current_rank)
+    return out
+
+
+def _dense_rank(n: int, args: list[tuple], peers: list[int]) -> list:
+    out = []
+    rank = 0
+    last = object()
+    for i in range(n):
+        if peers[i] != last:
+            rank += 1
+            last = peers[i]
+        out.append(rank)
+    return out
+
+
+def _percent_rank(n: int, args: list[tuple], peers: list[int]) -> list:
+    if n == 1:
+        return [0.0]
+    ranks = _rank(n, args, peers)
+    return [(r - 1) / (n - 1) for r in ranks]
+
+
+def _cume_dist(n: int, args: list[tuple], peers: list[int]) -> list:
+    # Count of rows with peer id <= this row's peer id.
+    out: list[float] = [0.0] * n
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and peers[j + 1] == peers[i]:
+            j += 1
+        for k in range(i, j + 1):
+            out[k] = (j + 1) / n
+        i = j + 1
+    return out
+
+
+def _ntile(n: int, args: list[tuple], peers: list[int]) -> list:
+    buckets = args[0][0] if args else 1
+    out = []
+    base, extra = divmod(n, buckets)
+    position = 0
+    for bucket in range(1, buckets + 1):
+        size = base + (1 if bucket <= extra else 0)
+        out.extend([bucket] * size)
+        position += size
+        if position >= n:
+            break
+    return out[:n]
+
+
+def _shift(n: int, args: list[tuple], peers: list[int], direction: int, default):
+    out = []
+    for i in range(n):
+        j = i + direction
+        out.append(args[j][0] if 0 <= j < n else default)
+    return out
+
+
+def _shift_dynamic(n: int, args: list[tuple], peers: list[int], direction: int):
+    out = []
+    for i in range(n):
+        offset = args[i][1] if args[i][1] is not None else 1
+        j = i + direction * offset
+        out.append(args[j][0] if 0 <= j < n else None)
+    return out
+
+
+def _first_value(n: int, args: list[tuple], peers: list[int]) -> list:
+    first = args[0][0] if n else None
+    return [first] * n
+
+
+def _last_value(n: int, args: list[tuple], peers: list[int]) -> list:
+    # Default frame is RANGE UNBOUNDED PRECEDING..CURRENT ROW, so the
+    # "last" value is the last row of the current peer group.
+    out: list = [None] * n
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and peers[j + 1] == peers[i]:
+            j += 1
+        for k in range(i, j + 1):
+            out[k] = args[j][0]
+        i = j + 1
+    return out
+
+
+def _nth_value(n: int, args: list[tuple], peers: list[int]) -> list:
+    out = []
+    for i in range(n):
+        offset = args[i][1]
+        if offset is None or offset < 1 or offset > n:
+            out.append(None)
+        else:
+            out.append(args[offset - 1][0])
+    return out

@@ -1,0 +1,6 @@
+"""Memory management (paper Sec. IV-F2): user/system classification,
+per-node general/reserved pools, global limits, promotion, revocation."""
+
+from repro.memory.pools import MemoryPool, QueryMemoryTracker, ClusterMemoryManager
+
+__all__ = ["MemoryPool", "QueryMemoryTracker", "ClusterMemoryManager"]

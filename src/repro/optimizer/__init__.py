@@ -1,0 +1,14 @@
+"""Query optimizer (paper Sec. IV-C).
+
+"The process works by evaluating a set of transformation rules greedily
+until a fixed point is reached." Rules implemented here: expression
+simplification/constant folding, predicate pushdown (including TupleDomain
+extraction into connector layouts), column pruning, limit pushdown and
+TopN formation, identity-projection removal, cost-based join re-ordering
+and join strategy (distribution) selection, co-located and index join
+selection.
+"""
+
+from repro.optimizer.optimizer import optimize_plan
+
+__all__ = ["optimize_plan"]

@@ -1,0 +1,48 @@
+"""Shared state passed to optimizer rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.metadata import Metadata
+from repro.optimizer.stats import StatsEstimator
+from repro.planner.symbols import SymbolAllocator
+
+
+@dataclass
+class OptimizerConfig:
+    """Session-level optimizer settings (paper Sec. IV-C, VI-A)."""
+
+    # Broadcast the build side when its estimated size is below this.
+    broadcast_join_threshold_bytes: float = 32 * 1024 * 1024
+    # Estimated task fan-out: replicating the build side costs roughly
+    # build_bytes * replication_factor, which must beat shuffling the
+    # probe side for a broadcast join to win.
+    replication_factor: float = 8.0
+    # Use cost-based join re-ordering / distribution when stats exist.
+    use_cost_based_optimizations: bool = True
+    # Allow co-located joins when layouts share partitioning (Sec. IV-C3).
+    colocated_joins_enabled: bool = True
+    # Allow index nested-loop joins when a connector exposes an index.
+    index_joins_enabled: bool = True
+    # Probe row bound for choosing an index join over a hash join.
+    index_join_probe_limit: float = 100_000.0
+    max_optimizer_iterations: int = 20
+
+
+@dataclass
+class OptimizerContext:
+    metadata: Metadata
+    symbols: SymbolAllocator
+    config: OptimizerConfig = field(default_factory=OptimizerConfig)
+    _stats: StatsEstimator | None = None
+
+    @property
+    def stats(self) -> StatsEstimator:
+        if self._stats is None:
+            self._stats = StatsEstimator(self.metadata)
+        return self._stats
+
+    def invalidate_stats(self) -> None:
+        if self._stats is not None:
+            self._stats.invalidate()

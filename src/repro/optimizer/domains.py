@@ -1,0 +1,146 @@
+"""Extract TupleDomains from predicates (paper Sec. IV-C2).
+
+``extract_domains`` splits a conjunction into (a) per-column domains a
+connector can enforce — range/point predicates over single columns with
+constant operands — and (b) the residual conjuncts the engine must still
+evaluate.
+"""
+
+from __future__ import annotations
+
+from repro.connectors.predicate import Domain, Range, TupleDomain
+from repro.planner import expressions as ir
+
+
+def extract_domains(
+    predicate: ir.RowExpression | None,
+) -> tuple[TupleDomain, list[ir.RowExpression]]:
+    """Return (enforceable tuple domain, residual conjuncts)."""
+    if predicate is None:
+        return TupleDomain.all(), []
+    domain = TupleDomain.all()
+    residual: list[ir.RowExpression] = []
+    for conjunct in ir.extract_conjuncts(predicate):
+        extracted = _extract_one(conjunct)
+        if extracted is None:
+            residual.append(conjunct)
+        else:
+            column, column_domain = extracted
+            domain = domain.intersect(TupleDomain({column: column_domain}))
+    return domain, residual
+
+
+def _extract_one(conjunct: ir.RowExpression) -> tuple[str, Domain] | None:
+    if isinstance(conjunct, ir.SpecialForm):
+        form = conjunct.form
+        args = conjunct.arguments
+        if form == ir.COMPARISON:
+            return _from_comparison(conjunct.form_data, args[0], args[1])
+        if form == ir.BETWEEN:
+            value, low, high = args
+            if (
+                isinstance(value, ir.Variable)
+                and isinstance(low, ir.Constant)
+                and isinstance(high, ir.Constant)
+                and low.value is not None
+                and high.value is not None
+            ):
+                return value.name, Domain.range(
+                    Range(low.value, high.value, True, True)
+                )
+            return None
+        if form == ir.IN:
+            value = args[0]
+            items = args[1:]
+            if isinstance(value, ir.Variable) and all(
+                isinstance(i, ir.Constant) for i in items
+            ):
+                constants = [i.value for i in items if i.value is not None]
+                if len(constants) != len(items):
+                    return None  # IN with NULL has three-valued semantics
+                try:
+                    return value.name, Domain.multiple_values(constants)
+                except TypeError:
+                    return None
+            return None
+        if form == ir.IS_NULL and isinstance(args[0], ir.Variable):
+            return args[0].name, Domain.only_null()
+        if form == ir.NOT:
+            inner = args[0]
+            if (
+                isinstance(inner, ir.SpecialForm)
+                and inner.form == ir.IS_NULL
+                and isinstance(inner.arguments[0], ir.Variable)
+            ):
+                return inner.arguments[0].name, Domain.not_null()
+    return None
+
+
+def _from_comparison(op, left, right) -> tuple[str, Domain] | None:
+    if isinstance(left, ir.Constant) and isinstance(right, ir.Variable):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>", "!=": "!="}
+        return _from_comparison(flipped[op], right, left)
+    if not (isinstance(left, ir.Variable) and isinstance(right, ir.Constant)):
+        return None
+    value = right.value
+    if value is None:
+        return None
+    column = left.name
+    if op == "=":
+        return column, Domain.single_value(value)
+    try:
+        if op == "<":
+            return column, Domain.range(Range.less_than(value))
+        if op == "<=":
+            return column, Domain.range(Range.less_than(value, inclusive=True))
+        if op == ">":
+            return column, Domain.range(Range.greater_than(value))
+        if op == ">=":
+            return column, Domain.range(Range.greater_than(value, inclusive=True))
+    except TypeError:
+        return None
+    return None  # <> is rarely worth enforcing; leave as residual
+
+
+def domain_to_predicate(column: str, domain: Domain, type_) -> ir.RowExpression | None:
+    """Reconstruct a predicate from a domain (for unenforced residues)."""
+    from repro.types import BOOLEAN
+
+    values = domain.single_values()
+    variable = ir.Variable(type_, column)
+    if values is not None:
+        if len(values) == 1:
+            return ir.SpecialForm(
+                BOOLEAN, ir.COMPARISON, (variable, ir.Constant(type_, values[0])), "="
+            )
+        return ir.SpecialForm(
+            BOOLEAN,
+            ir.IN,
+            tuple([variable] + [ir.Constant(type_, v) for v in values]),
+        )
+    conjuncts: list[ir.RowExpression] = []
+    if len(domain.ranges) == 1:
+        r = domain.ranges[0]
+        if r.low is not None:
+            op = ">=" if r.low_inclusive else ">"
+            conjuncts.append(
+                ir.SpecialForm(
+                    BOOLEAN, ir.COMPARISON, (variable, ir.Constant(type_, r.low)), op
+                )
+            )
+        if r.high is not None:
+            op = "<=" if r.high_inclusive else "<"
+            conjuncts.append(
+                ir.SpecialForm(
+                    BOOLEAN, ir.COMPARISON, (variable, ir.Constant(type_, r.high)), op
+                )
+            )
+    if not domain.null_allowed and not conjuncts:
+        conjuncts.append(
+            ir.SpecialForm(
+                BOOLEAN,
+                ir.NOT,
+                (ir.SpecialForm(BOOLEAN, ir.IS_NULL, (variable,)),),
+            )
+        )
+    return ir.combine_conjuncts(conjuncts)

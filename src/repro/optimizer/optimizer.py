@@ -1,0 +1,78 @@
+"""The optimizer driver: applies rule sets greedily to a fixed point
+(paper Sec. IV-C)."""
+
+from __future__ import annotations
+
+from repro.catalog.metadata import Metadata
+from repro.optimizer.context import OptimizerConfig, OptimizerContext
+from repro.optimizer.rules.joins import (
+    reorder_joins,
+    select_index_joins,
+    select_join_distribution,
+)
+from repro.optimizer.rules.layouts import pick_table_layouts
+from repro.optimizer.rules.limits import pushdown_limits
+from repro.optimizer.rules.pruning import (
+    merge_adjacent_projections,
+    prune_columns,
+    remove_identity_projections,
+)
+from repro.optimizer.rules.pushdown import pushdown_predicates
+from repro.optimizer.rules.simplify import simplify_expressions
+from repro.planner.planner import Plan
+from repro.planner.symbols import SymbolAllocator
+
+# The iterative rule set; each entry runs until none of them changes the
+# plan (the greedy fixed point the paper describes).
+_ITERATIVE_RULES = (
+    simplify_expressions,
+    pushdown_predicates,
+    merge_adjacent_projections,
+    remove_identity_projections,
+    pushdown_limits,
+    prune_columns,
+)
+
+
+def optimize_plan(
+    plan: Plan,
+    metadata: Metadata,
+    symbols: SymbolAllocator | None = None,
+    config: OptimizerConfig | None = None,
+) -> Plan:
+    context = OptimizerContext(
+        metadata, symbols or SymbolAllocator(), config or OptimizerConfig()
+    )
+    root = plan.root
+
+    root = _fixed_point(root, context)
+    # Layout selection (pushes TupleDomains into connectors) may leave
+    # residual filters; re-run the iterative rules afterwards.
+    root, _ = pick_table_layouts(root, context)
+    root = _fixed_point(root, context)
+    # Cost-based join transformations run once the plan is stable.
+    root, changed = reorder_joins(root, context)
+    if changed:
+        root = _fixed_point(root, context)
+        # Reordering may enable better layouts for moved filters.
+        root, layout_changed = pick_table_layouts(root, context)
+        if layout_changed:
+            root = _fixed_point(root, context)
+    root, _ = select_index_joins(root, context)
+    root, _ = select_join_distribution(root, context)
+    root = _fixed_point(root, context)
+
+    return Plan(root, plan.column_names, plan.column_types)
+
+
+def _fixed_point(root, context):
+    for _ in range(context.config.max_optimizer_iterations):
+        any_changed = False
+        for rule in _ITERATIVE_RULES:
+            root, changed = rule(root, context)
+            if changed:
+                any_changed = True
+                context.invalidate_stats()
+        if not any_changed:
+            return root
+    return root

@@ -1,0 +1,112 @@
+"""Plan-property derivation (paper Sec. IV-C3).
+
+"Like connectors, nodes in the plan tree can express properties of
+their outputs (i.e. the partitioning, sorting, bucketing, and grouping
+characteristics of the data)." The optimizer and fragmenter use these
+properties to elide or downgrade shuffles: a co-located join needs both
+inputs partitioned compatibly on the join columns; an aggregation over
+data already partitioned on the grouping keys needs no repartition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.connectors.api import TablePartitioning
+from repro.planner import expressions as ir
+from repro.planner import nodes as plan
+
+
+@dataclass(frozen=True)
+class PartitioningProperty:
+    """Data is partitioned on ``columns`` (plan symbol names, ordered).
+
+    ``connector_partitioning`` identifies the physical partitioning
+    function when the data came from a connector layout (needed to prove
+    two tables are co-partitioned); engine-made partitionings use the
+    ``"system-hash"`` handle.
+    """
+
+    columns: tuple[str, ...]
+    connector_partitioning: Optional[TablePartitioning] = None
+    # True when all data is on a single node/stream (e.g. after GATHER).
+    single: bool = False
+
+    def is_compatible_with(self, other: "PartitioningProperty") -> bool:
+        if self.single and other.single:
+            return True
+        if self.connector_partitioning is None or other.connector_partitioning is None:
+            return False
+        return self.connector_partitioning.is_compatible_with(
+            other.connector_partitioning
+        )
+
+
+def derive_partitioning(node: plan.PlanNode) -> Optional[PartitioningProperty]:
+    """Best-effort derivation of the output partitioning of ``node``."""
+    if isinstance(node, plan.TableScanNode):
+        layout = node.layout
+        if layout is None or layout.partitioning is None:
+            return None
+        column_to_symbol = {c: s.name for s, c in node.assignments.items()}
+        symbols = []
+        for column in layout.partitioning.columns:
+            symbol = column_to_symbol.get(column)
+            if symbol is None:
+                return None
+            symbols.append(symbol)
+        return PartitioningProperty(tuple(symbols), layout.partitioning)
+    if isinstance(node, plan.ValuesNode):
+        return PartitioningProperty((), None, single=True)
+    if isinstance(node, (plan.FilterNode, plan.LimitNode, plan.SortNode,
+                         plan.TopNNode, plan.DistinctNode, plan.WindowNode,
+                         plan.EnforceSingleRowNode, plan.UnnestNode,
+                         plan.SemiJoinNode)):
+        return derive_partitioning(node.sources[0])
+    if isinstance(node, plan.ProjectNode):
+        inner = derive_partitioning(node.source)
+        if inner is None:
+            return None
+        if inner.single:
+            return inner
+        renames: dict[str, str] = {}
+        for out, expr in node.assignments.items():
+            if isinstance(expr, ir.Variable):
+                renames.setdefault(expr.name, out.name)
+        new_columns = []
+        for column in inner.columns:
+            renamed = renames.get(column)
+            if renamed is None:
+                return None
+            new_columns.append(renamed)
+        return PartitioningProperty(
+            tuple(new_columns), inner.connector_partitioning, inner.single
+        )
+    if isinstance(node, plan.AggregationNode):
+        inner = derive_partitioning(node.source)
+        if inner is None:
+            return None
+        if inner.single:
+            return inner
+        group_names = {s.name for s in node.group_by}
+        if set(inner.columns) <= group_names:
+            return inner
+        return None
+    if isinstance(node, plan.JoinNode):
+        if node.distribution in (plan.JoinDistribution.COLOCATED,
+                                 plan.JoinDistribution.REPLICATED,
+                                 plan.JoinDistribution.INDEX):
+            return derive_partitioning(node.left)
+        return None
+    if isinstance(node, plan.IndexJoinNode):
+        return derive_partitioning(node.probe)
+    if isinstance(node, plan.ExchangeNode):
+        if node.kind is plan.ExchangeKind.GATHER:
+            return PartitioningProperty((), None, single=True)
+        if node.kind is plan.ExchangeKind.REPARTITION:
+            return PartitioningProperty(
+                tuple(s.name for s in node.partition_keys), None
+            )
+        return None
+    return None

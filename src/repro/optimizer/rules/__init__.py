@@ -1,0 +1,6 @@
+"""Optimizer transformation rules.
+
+Each rule is a function ``(root, context) -> (new_root, changed)``; the
+optimizer applies the rule set greedily until a fixed point is reached
+(paper Sec. IV-C).
+"""

@@ -1,0 +1,21 @@
+"""Logical planning: typed expression IR, plan nodes, and the planner.
+
+The logical planner (paper Sec. IV-B3) turns the analyzed syntax tree
+into an intermediate representation encoded as a tree of plan nodes;
+nodes are purely logical until the optimizer and fragmenter make
+execution decisions.
+"""
+
+from repro.planner.symbols import Symbol, SymbolAllocator
+
+__all__ = ["Symbol", "SymbolAllocator", "LogicalPlanner", "Plan"]
+
+
+def __getattr__(name):
+    # Imported lazily: planner.planner depends on the analyzer, which
+    # depends on plan symbols from this package.
+    if name in ("LogicalPlanner", "Plan"):
+        from repro.planner import planner
+
+        return getattr(planner, name)
+    raise AttributeError(name)

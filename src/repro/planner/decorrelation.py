@@ -1,0 +1,144 @@
+"""Decorrelation of subquery plans (paper Sec. IV-C).
+
+The planner plans a correlated subquery with its outer references
+captured as free variables; this module rewrites the resulting plan so
+it no longer references them:
+
+- equality conjuncts of the form ``outer_symbol = <inner expression>``
+  are lifted out of inner filters and become semi-join keys;
+- any other use of an outer reference is rejected as unsupported.
+
+The supported class (equality-correlated EXISTS / IN under
+filters/projections, no correlation through aggregations or limits)
+covers the overwhelmingly common patterns; everything else fails with a
+clear error instead of wrong results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NotSupportedError
+from repro.planner import expressions as ir
+from repro.planner import nodes as plan
+from repro.planner.symbols import Symbol, SymbolAllocator
+
+
+@dataclass
+class DecorrelationResult:
+    node: plan.PlanNode
+    # (outer-side key expression — references only outer symbols — and the
+    # inner symbol carrying the matching value). The caller materializes
+    # the outer expressions onto the probe side.
+    key_pairs: list[tuple[ir.RowExpression, Symbol]]
+
+
+def decorrelate(
+    node: plan.PlanNode,
+    outer_symbols: dict[str, Symbol],
+    symbols: SymbolAllocator,
+) -> DecorrelationResult:
+    """Remove references to ``outer_symbols`` from the subquery plan."""
+    outer_names = set(outer_symbols)
+    pairs: list[tuple[Symbol, ir.RowExpression]] = []
+
+    def strip_filters(current: plan.PlanNode) -> plan.PlanNode:
+        if isinstance(current, plan.FilterNode):
+            new_source = strip_filters(current.source)
+            kept: list[ir.RowExpression] = []
+            for conjunct in ir.extract_conjuncts(current.predicate):
+                extracted = _correlated_equality(conjunct, outer_names, outer_symbols)
+                if extracted is not None:
+                    pairs.append(extracted)
+                else:
+                    kept.append(conjunct)
+            residual = ir.combine_conjuncts(kept)
+            if residual is None:
+                return new_source
+            return plan.FilterNode(new_source, residual)
+        if isinstance(current, plan.ProjectNode):
+            new_source = strip_filters(current.source)
+            if new_source is not current.source:
+                return plan.ProjectNode(new_source, current.assignments)
+            return current
+        # Correlation below aggregations / limits / joins is out of scope.
+        return current
+
+    stripped = strip_filters(node)
+
+    # Any remaining outer reference anywhere in the plan is unsupported.
+    for plan_node in plan.walk_plan(stripped):
+        for expression in _node_expressions(plan_node):
+            remaining = ir.referenced_variables(expression) & outer_names
+            if remaining:
+                raise NotSupportedError(
+                    "Correlated subquery is too complex to decorrelate "
+                    f"(outer reference {sorted(remaining)[0]!r} is not a "
+                    "top-level equality predicate)"
+                )
+
+    if not pairs:
+        raise NotSupportedError(
+            "Correlated subquery has no equality correlation to decorrelate"
+        )
+
+    # Materialize inner-side key expressions as symbols appended to the
+    # subquery output.
+    assignments: dict[Symbol, ir.RowExpression] = {
+        s: ir.Variable(s.type, s.name) for s in stripped.output_symbols
+    }
+    key_pairs: list[tuple[ir.RowExpression, Symbol]] = []
+    for outer_expr, inner_expr in pairs:
+        if isinstance(inner_expr, ir.Variable):
+            inner_symbol = inner_expr.to_symbol()
+            assignments.setdefault(inner_symbol, inner_expr)
+        else:
+            inner_symbol = symbols.new_symbol("corr_key", inner_expr.type)
+            assignments[inner_symbol] = inner_expr
+        key_pairs.append((outer_expr, inner_symbol))
+    projected = plan.ProjectNode(stripped, assignments)
+    return DecorrelationResult(projected, key_pairs)
+
+
+def _correlated_equality(
+    conjunct: ir.RowExpression,
+    outer_names: set[str],
+    outer_symbols: dict[str, Symbol],
+):
+    """Match ``<outer expression> = <inner expression>`` (either side):
+    one side must reference only outer symbols (at least one), the other
+    must reference none. Returns (outer_expr, inner_expr) or None."""
+    if not (
+        isinstance(conjunct, ir.SpecialForm)
+        and conjunct.form == ir.COMPARISON
+        and conjunct.form_data == "="
+    ):
+        return None
+    left, right = conjunct.arguments
+    for outer_side, inner_side in ((left, right), (right, left)):
+        outer_refs = ir.referenced_variables(outer_side)
+        if (
+            outer_refs
+            and outer_refs <= outer_names
+            and not (ir.referenced_variables(inner_side) & outer_names)
+        ):
+            return outer_side, inner_side
+    return None
+
+
+def _node_expressions(node: plan.PlanNode):
+    if isinstance(node, plan.FilterNode):
+        yield node.predicate
+    elif isinstance(node, plan.ProjectNode):
+        yield from node.assignments.values()
+    elif isinstance(node, plan.JoinNode):
+        if node.filter is not None:
+            yield node.filter
+    elif isinstance(node, plan.AggregationNode):
+        for call in node.aggregations.values():
+            yield from call.arguments
+            if call.filter is not None:
+                yield call.filter
+    elif isinstance(node, plan.ValuesNode):
+        for row in node.rows:
+            yield from row

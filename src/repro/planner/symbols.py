@@ -1,0 +1,37 @@
+"""Plan symbols: uniquely named, typed columns flowing between plan nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import Type
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A named column in the plan. Names are unique within one plan."""
+
+    name: str
+    type: Type
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.type}"
+
+
+class SymbolAllocator:
+    """Allocates unique symbols, preserving readable base names."""
+
+    def __init__(self):
+        self._counters: dict[str, int] = {}
+
+    def new_symbol(self, base: str, type_: Type) -> Symbol:
+        base = _sanitize(base)
+        count = self._counters.get(base, 0)
+        self._counters[base] = count + 1
+        name = base if count == 0 else f"{base}_{count}"
+        return Symbol(name, type_)
+
+
+def _sanitize(base: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in base.lower())
+    return cleaned or "expr"

@@ -1,0 +1,12 @@
+"""SQL front-end: lexer, recursive-descent parser, AST, and formatter.
+
+The paper (Sec. IV-B2) uses an ANTLR-generated parser; we hand-write an
+equivalent recursive-descent parser producing a syntax tree of dataclass
+nodes. The dialect covers the ANSI subset exercised by the evaluation,
+plus Presto's usability extensions: lambdas and higher-order functions.
+"""
+
+from repro.sql.parser import parse_statement, parse_expression
+from repro.sql import ast
+
+__all__ = ["parse_statement", "parse_expression", "ast"]

@@ -1,0 +1,559 @@
+"""Abstract syntax tree node definitions.
+
+Every node is a frozen dataclass so trees are hashable and safely
+shareable. Node names follow the Presto source tree (Query,
+QuerySpecification, ComparisonExpression, ...) to keep the mapping to the
+paper obvious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class of all AST nodes."""
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expression(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class NullLiteral(Expression):
+    pass
+
+
+@dataclass(frozen=True)
+class BooleanLiteral(Expression):
+    value: bool
+
+
+@dataclass(frozen=True)
+class LongLiteral(Expression):
+    value: int
+
+
+@dataclass(frozen=True)
+class DoubleLiteral(Expression):
+    value: float
+
+
+@dataclass(frozen=True)
+class StringLiteral(Expression):
+    value: str
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Expression):
+    """``INTERVAL '3' DAY`` — value in the given unit."""
+
+    value: str
+    unit: str  # day | hour | minute | second | month | year
+    sign: int = 1
+
+
+@dataclass(frozen=True)
+class Identifier(Expression):
+    name: str
+    quoted: bool = False
+
+
+@dataclass(frozen=True)
+class QualifiedName(Node):
+    """A dotted name such as ``catalog.schema.table``."""
+
+    parts: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return ".".join(self.parts)
+
+    @property
+    def suffix(self) -> str:
+        return self.parts[-1]
+
+
+@dataclass(frozen=True)
+class Dereference(Expression):
+    """``base.field`` — row-field access or qualified column reference."""
+
+    base: Expression
+    field_name: str
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A positional ``?`` parameter."""
+
+    position: int
+
+
+class ArithmeticOp(str, Enum):
+    ADD = "+"
+    SUBTRACT = "-"
+    MULTIPLY = "*"
+    DIVIDE = "/"
+    MODULUS = "%"
+
+
+@dataclass(frozen=True)
+class ArithmeticBinary(Expression):
+    op: ArithmeticOp
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class ArithmeticUnary(Expression):
+    sign: int  # +1 or -1
+    value: Expression
+
+
+class ComparisonOp(str, Enum):
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IS_DISTINCT_FROM = "IS DISTINCT FROM"
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    op: ComparisonOp
+    left: Expression
+    right: Expression
+
+
+class LogicalOp(str, Enum):
+    AND = "AND"
+    OR = "OR"
+
+
+@dataclass(frozen=True)
+class Logical(Expression):
+    op: LogicalOp
+    terms: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    value: Expression
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    value: Expression
+
+
+@dataclass(frozen=True)
+class IsNotNull(Expression):
+    value: Expression
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    value: Expression
+    low: Expression
+    high: Expression
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    value: Expression
+    items: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    value: Expression
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class Exists(Expression):
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    value: Expression
+    pattern: Expression
+    escape: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Cast(Expression):
+    value: Expression
+    target_type: str
+    safe: bool = False  # TRY_CAST returns NULL on failure
+
+
+@dataclass(frozen=True)
+class Extract(Expression):
+    """``EXTRACT(field FROM expr)``."""
+
+    field_name: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class SortItem(Node):
+    key: Expression
+    ascending: bool = True
+    nulls_first: Optional[bool] = None  # None = dialect default (last for ASC)
+
+
+class FrameBoundKind(str, Enum):
+    UNBOUNDED_PRECEDING = "UNBOUNDED PRECEDING"
+    PRECEDING = "PRECEDING"
+    CURRENT_ROW = "CURRENT ROW"
+    FOLLOWING = "FOLLOWING"
+    UNBOUNDED_FOLLOWING = "UNBOUNDED FOLLOWING"
+
+
+@dataclass(frozen=True)
+class FrameBound(Node):
+    kind: FrameBoundKind
+    value: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class WindowFrame(Node):
+    frame_type: str  # "ROWS" | "RANGE"
+    start: FrameBound
+    end: FrameBound
+
+
+@dataclass(frozen=True)
+class WindowSpec(Node):
+    partition_by: tuple[Expression, ...] = ()
+    order_by: tuple[SortItem, ...] = ()
+    frame: Optional[WindowFrame] = None
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    name: QualifiedName
+    arguments: tuple[Expression, ...] = ()
+    distinct: bool = False
+    window: Optional[WindowSpec] = None
+    filter: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Lambda(Expression):
+    """``(x, y) -> body`` — Presto's anonymous-function extension (Sec. IV-A)."""
+
+    parameters: tuple[str, ...]
+    body: Expression
+
+
+@dataclass(frozen=True)
+class Subscript(Expression):
+    """``base[index]`` — array element or map value access."""
+
+    base: Expression
+    index: Expression
+
+
+@dataclass(frozen=True)
+class ArrayConstructor(Expression):
+    items: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class RowConstructor(Expression):
+    items: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class WhenClause(Node):
+    condition: Expression
+    result: Expression
+
+
+@dataclass(frozen=True)
+class SearchedCase(Expression):
+    whens: tuple[WhenClause, ...]
+    default: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class SimpleCase(Expression):
+    operand: Expression
+    whens: tuple[WhenClause, ...]
+    default: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class FieldReference(Expression):
+    """Planner-internal: positional reference into the underlying relation."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class SymbolReference(Expression):
+    """Planner-internal: a reference to a plan symbol (unique column name)."""
+
+    name: str
+
+
+# --------------------------------------------------------------------------
+# Relations
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Relation(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Table(Relation):
+    name: QualifiedName
+
+
+@dataclass(frozen=True)
+class AliasedRelation(Relation):
+    relation: Relation
+    alias: str
+    column_names: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SubqueryRelation(Relation):
+    query: "Query"
+
+
+class JoinType(str, Enum):
+    INNER = "INNER"
+    LEFT = "LEFT"
+    RIGHT = "RIGHT"
+    FULL = "FULL"
+    CROSS = "CROSS"
+    IMPLICIT = "IMPLICIT"  # comma-separated FROM list
+
+
+@dataclass(frozen=True)
+class JoinOn(Node):
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class JoinUsing(Node):
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Join(Relation):
+    join_type: JoinType
+    left: Relation
+    right: Relation
+    criteria: Union[JoinOn, JoinUsing, None] = None
+
+
+@dataclass(frozen=True)
+class SampledRelation(Relation):
+    """``relation TABLESAMPLE BERNOULLI(p)`` — p in percent (0-100)."""
+
+    relation: Relation
+    method: str  # "BERNOULLI" | "SYSTEM"
+    percentage: Expression
+
+
+@dataclass(frozen=True)
+class Unnest(Relation):
+    expressions: tuple[Expression, ...]
+    with_ordinality: bool = False
+
+
+@dataclass(frozen=True)
+class Values(Relation):
+    rows: tuple[tuple[Expression, ...], ...]
+
+
+# --------------------------------------------------------------------------
+# Query structure
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class SingleColumn(SelectItem):
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AllColumns(SelectItem):
+    prefix: Optional[QualifiedName] = None  # for "t.*"
+
+
+@dataclass(frozen=True)
+class Select(Node):
+    items: tuple[SelectItem, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class GroupBy(Node):
+    expressions: tuple[Expression, ...]
+    # GROUPING SETS / ROLLUP / CUBE expand into multiple grouping-key
+    # sets; None means plain GROUP BY over ``expressions``.
+    grouping_sets: Optional[tuple[tuple[Expression, ...], ...]] = None
+
+
+@dataclass(frozen=True)
+class QueryBody(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class QuerySpecification(QueryBody):
+    select: Select
+    from_: Optional[Relation] = None
+    where: Optional[Expression] = None
+    group_by: Optional[GroupBy] = None
+    having: Optional[Expression] = None
+    order_by: tuple[SortItem, ...] = ()
+    limit: Optional[int] = None
+
+
+class SetOpKind(str, Enum):
+    UNION = "UNION"
+    INTERSECT = "INTERSECT"
+    EXCEPT = "EXCEPT"
+
+
+@dataclass(frozen=True)
+class SetOperation(QueryBody):
+    kind: SetOpKind
+    left: QueryBody
+    right: QueryBody
+    distinct: bool = True
+
+
+@dataclass(frozen=True)
+class TableSubqueryBody(QueryBody):
+    """A parenthesized query used as a query body."""
+
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class ValuesBody(QueryBody):
+    rows: tuple[tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class WithQuery(Node):
+    name: str
+    query: "Query"
+    column_names: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class With(Node):
+    queries: tuple[WithQuery, ...]
+
+
+@dataclass(frozen=True)
+class Statement(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Query(Statement):
+    body: QueryBody
+    with_: Optional[With] = None
+    order_by: tuple[SortItem, ...] = ()
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    statement: Statement
+    explain_type: str = "LOGICAL"  # LOGICAL | DISTRIBUTED
+    analyze: bool = False  # EXPLAIN ANALYZE: execute and report stats
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    target: QualifiedName
+    query: Query
+    columns: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateTableAsSelect(Statement):
+    name: QualifiedName
+    query: Query
+    properties: tuple[tuple[str, Expression], ...] = ()
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: QualifiedName
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class ShowTables(Statement):
+    schema: Optional[QualifiedName] = None
+
+
+@dataclass(frozen=True)
+class ShowCatalogs(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class ShowSchemas(Statement):
+    catalog: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ShowFunctions(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class ShowColumns(Statement):
+    table: QualifiedName
+
+
+def children(node: Node) -> list[Node]:
+    """Return the direct AST children of ``node`` (for generic traversal)."""
+    result: list[Node] = []
+    for f in getattr(node, "__dataclass_fields__", {}):
+        value = getattr(node, f)
+        if isinstance(value, Node):
+            result.append(value)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, Node):
+                    result.append(item)
+                elif isinstance(item, tuple):
+                    result.extend(x for x in item if isinstance(x, Node))
+    return result

@@ -1,0 +1,138 @@
+"""Render AST nodes back to SQL text (used by EXPLAIN and error messages)."""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+
+def format_expression(expr: ast.Expression) -> str:
+    """Pretty-print an expression AST as SQL."""
+    f = format_expression
+    if isinstance(expr, ast.NullLiteral):
+        return "NULL"
+    if isinstance(expr, ast.BooleanLiteral):
+        return "TRUE" if expr.value else "FALSE"
+    if isinstance(expr, ast.LongLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.DoubleLiteral):
+        return repr(expr.value)
+    if isinstance(expr, ast.StringLiteral):
+        escaped = expr.value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(expr, ast.IntervalLiteral):
+        sign = "-" if expr.sign < 0 else ""
+        return f"INTERVAL {sign}'{expr.value}' {expr.unit.upper()}"
+    if isinstance(expr, ast.Identifier):
+        return f'"{expr.name}"' if expr.quoted else expr.name
+    if isinstance(expr, ast.SymbolReference):
+        return expr.name
+    if isinstance(expr, ast.FieldReference):
+        return f"$field{expr.index}"
+    if isinstance(expr, ast.Dereference):
+        return f"{f(expr.base)}.{expr.field_name}"
+    if isinstance(expr, ast.ArithmeticBinary):
+        return f"({f(expr.left)} {expr.op.value} {f(expr.right)})"
+    if isinstance(expr, ast.ArithmeticUnary):
+        return f"-{f(expr.value)}" if expr.sign < 0 else f(expr.value)
+    if isinstance(expr, ast.Comparison):
+        return f"({f(expr.left)} {expr.op.value} {f(expr.right)})"
+    if isinstance(expr, ast.Logical):
+        joined = f" {expr.op.value} ".join(f(t) for t in expr.terms)
+        return f"({joined})"
+    if isinstance(expr, ast.Not):
+        return f"(NOT {f(expr.value)})"
+    if isinstance(expr, ast.IsNull):
+        return f"({f(expr.value)} IS NULL)"
+    if isinstance(expr, ast.IsNotNull):
+        return f"({f(expr.value)} IS NOT NULL)"
+    if isinstance(expr, ast.Between):
+        return f"({f(expr.value)} BETWEEN {f(expr.low)} AND {f(expr.high)})"
+    if isinstance(expr, ast.InList):
+        items = ", ".join(f(i) for i in expr.items)
+        return f"({f(expr.value)} IN ({items}))"
+    if isinstance(expr, ast.InSubquery):
+        return f"({f(expr.value)} IN (<subquery>))"
+    if isinstance(expr, ast.Exists):
+        return "EXISTS (<subquery>)"
+    if isinstance(expr, ast.ScalarSubquery):
+        return "(<scalar subquery>)"
+    if isinstance(expr, ast.Like):
+        suffix = f" ESCAPE {f(expr.escape)}" if expr.escape else ""
+        return f"({f(expr.value)} LIKE {f(expr.pattern)}{suffix})"
+    if isinstance(expr, ast.Cast):
+        keyword = "TRY_CAST" if expr.safe else "CAST"
+        return f"{keyword}({f(expr.value)} AS {expr.target_type})"
+    if isinstance(expr, ast.Extract):
+        return f"EXTRACT({expr.field_name.upper()} FROM {f(expr.value)})"
+    if isinstance(expr, ast.FunctionCall):
+        args = ", ".join(f(a) for a in expr.arguments)
+        distinct = "DISTINCT " if expr.distinct else ""
+        text = f"{expr.name}({distinct}{args})"
+        if expr.filter is not None:
+            text += f" FILTER (WHERE {f(expr.filter)})"
+        if expr.window is not None:
+            text += f" OVER ({_format_window(expr.window)})"
+        return text
+    if isinstance(expr, ast.Lambda):
+        params = ", ".join(expr.parameters)
+        if len(expr.parameters) == 1:
+            return f"{params} -> {f(expr.body)}"
+        return f"({params}) -> {f(expr.body)}"
+    if isinstance(expr, ast.Subscript):
+        return f"{f(expr.base)}[{f(expr.index)}]"
+    if isinstance(expr, ast.ArrayConstructor):
+        return "ARRAY[" + ", ".join(f(i) for i in expr.items) + "]"
+    if isinstance(expr, ast.RowConstructor):
+        return "ROW(" + ", ".join(f(i) for i in expr.items) + ")"
+    if isinstance(expr, ast.SearchedCase):
+        parts = ["CASE"]
+        for when in expr.whens:
+            parts.append(f"WHEN {f(when.condition)} THEN {f(when.result)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {f(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.SimpleCase):
+        parts = [f"CASE {f(expr.operand)}"]
+        for when in expr.whens:
+            parts.append(f"WHEN {f(when.condition)} THEN {f(when.result)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {f(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.Parameter):
+        return "?"
+    return f"<{type(expr).__name__}>"
+
+
+def _format_window(window: ast.WindowSpec) -> str:
+    parts = []
+    if window.partition_by:
+        cols = ", ".join(format_expression(e) for e in window.partition_by)
+        parts.append(f"PARTITION BY {cols}")
+    if window.order_by:
+        keys = ", ".join(_format_sort_item(s) for s in window.order_by)
+        parts.append(f"ORDER BY {keys}")
+    if window.frame is not None:
+        frame = window.frame
+        parts.append(
+            f"{frame.frame_type} BETWEEN {_format_bound(frame.start)}"
+            f" AND {_format_bound(frame.end)}"
+        )
+    return " ".join(parts)
+
+
+def _format_bound(bound: ast.FrameBound) -> str:
+    if bound.value is not None:
+        return f"{format_expression(bound.value)} {bound.kind.value}"
+    return bound.kind.value
+
+
+def _format_sort_item(item: ast.SortItem) -> str:
+    text = format_expression(item.key)
+    text += " ASC" if item.ascending else " DESC"
+    if item.nulls_first is True:
+        text += " NULLS FIRST"
+    elif item.nulls_first is False:
+        text += " NULLS LAST"
+    return text

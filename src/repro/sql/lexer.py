@@ -1,0 +1,184 @@
+"""SQL lexer.
+
+Produces a flat token stream with line/column positions for error
+reporting. Keywords are recognized case-insensitively; identifiers may be
+double-quoted to escape keyword status (ANSI style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import SyntaxError_
+
+
+class TokenType(Enum):
+    IDENTIFIER = "identifier"
+    QUOTED_IDENTIFIER = "quoted_identifier"
+    KEYWORD = "keyword"
+    STRING = "string"
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    OPERATOR = "operator"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    """
+    select from where group by having order limit offset as on using join
+    inner left right full outer cross natural and or not in exists between
+    like escape is null true false case when then else end cast try_cast
+    distinct all union intersect except with recursive values insert into
+    create table drop if asc desc nulls first last over partition rows range
+    unbounded preceding following current row interval day hour minute
+    second month year extract unnest ordinality explain analyze describe
+    show tables columns filter lateral
+    """.split()
+)
+
+# Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = ("<>", "!=", "<=", ">=", "->", "||", "=", "<", ">", "+", "-", "*",
+              "/", "%", "(", ")", ",", ".", ";", "[", "]", "?")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split ``sql`` into tokens, raising SyntaxError_ on malformed input."""
+    tokens: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(sql)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and sql[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = sql[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # -- line comment
+        if ch == "-" and i + 1 < n and sql[i + 1] == "-":
+            while i < n and sql[i] != "\n":
+                advance(1)
+            continue
+        # /* block comment */
+        if ch == "/" and i + 1 < n and sql[i + 1] == "*":
+            start_line, start_col = line, col
+            advance(2)
+            while i + 1 < n and not (sql[i] == "*" and sql[i + 1] == "/"):
+                advance(1)
+            if i + 1 >= n:
+                raise SyntaxError_("Unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch == "'":
+            start_line, start_col = line, col
+            advance(1)
+            buf: list[str] = []
+            while True:
+                if i >= n:
+                    raise SyntaxError_("Unterminated string literal", start_line, start_col)
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        advance(2)
+                        continue
+                    advance(1)
+                    break
+                buf.append(sql[i])
+                advance(1)
+            tokens.append(Token(TokenType.STRING, "".join(buf), start_line, start_col))
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            advance(1)
+            buf = []
+            while True:
+                if i >= n:
+                    raise SyntaxError_("Unterminated quoted identifier", start_line, start_col)
+                if sql[i] == '"':
+                    if i + 1 < n and sql[i + 1] == '"':
+                        buf.append('"')
+                        advance(2)
+                        continue
+                    advance(1)
+                    break
+                buf.append(sql[i])
+                advance(1)
+            tokens.append(
+                Token(TokenType.QUOTED_IDENTIFIER, "".join(buf), start_line, start_col)
+            )
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start_line, start_col = line, col
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = sql[i]
+                if c.isdigit():
+                    advance(1)
+                elif c == "." and not seen_dot and not seen_exp:
+                    # Don't consume "1." in "1..2" or "t.1" contexts; simple rule:
+                    # a dot is part of the number only when followed by a digit
+                    # or when nothing numeric follows (e.g. "1.5").
+                    if i + 1 < n and (sql[i + 1].isdigit() or sql[i + 1] in "eE"):
+                        seen_dot = True
+                        advance(1)
+                    else:
+                        break
+                elif c in "eE" and not seen_exp:
+                    if i + 1 < n and (sql[i + 1].isdigit() or sql[i + 1] in "+-"):
+                        seen_exp = True
+                        advance(1)
+                        if i < n and sql[i] in "+-":
+                            advance(1)
+                    else:
+                        break
+                else:
+                    break
+            text = sql[start:i]
+            ttype = TokenType.DECIMAL if (seen_dot or seen_exp) else TokenType.INTEGER
+            tokens.append(Token(ttype, text, start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                advance(1)
+            text = sql[start:i]
+            ttype = (
+                TokenType.KEYWORD if text.lower() in KEYWORDS else TokenType.IDENTIFIER
+            )
+            tokens.append(Token(ttype, text, start_line, start_col))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, line, col))
+                advance(len(op))
+                matched = True
+                break
+        if not matched:
+            raise SyntaxError_(f"Unexpected character {ch!r}", line, col)
+    tokens.append(Token(TokenType.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,1020 @@
+"""Recursive-descent SQL parser producing the AST in :mod:`repro.sql.ast`.
+
+Grammar follows the ANSI subset the paper exercises plus Presto
+extensions (lambdas, TRY_CAST, higher-order function calls). Expression
+parsing uses precedence climbing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SyntaxError_
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 4, "<>": 4, "!=": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "||": 5,
+    "+": 6, "-": 6,
+    "*": 7, "/": 7, "%": 7,
+}
+
+_COMPARISON_OPS = {
+    "=": ast.ComparisonOp.EQ,
+    "<>": ast.ComparisonOp.NE,
+    "!=": ast.ComparisonOp.NE,
+    "<": ast.ComparisonOp.LT,
+    "<=": ast.ComparisonOp.LE,
+    ">": ast.ComparisonOp.GT,
+    ">=": ast.ComparisonOp.GE,
+}
+
+_ARITHMETIC_OPS = {
+    "+": ast.ArithmeticOp.ADD,
+    "-": ast.ArithmeticOp.SUBTRACT,
+    "*": ast.ArithmeticOp.MULTIPLY,
+    "/": ast.ArithmeticOp.DIVIDE,
+    "%": ast.ArithmeticOp.MODULUS,
+}
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.tokens = tokenize(sql)
+        self.pos = 0
+
+    # ---- token stream helpers ------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.current
+        return token.type is TokenType.KEYWORD and token.upper in words
+
+    def at_operator(self, *ops: str) -> bool:
+        token = self.current
+        return token.type is TokenType.OPERATOR and token.text in ops
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.at_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def accept_operator(self, *ops: str) -> bool:
+        if self.at_operator(*ops):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.at_keyword(word):
+            self.error(f"Expected {word}")
+        return self.advance()
+
+    def expect_operator(self, op: str) -> Token:
+        if not self.at_operator(op):
+            self.error(f"Expected '{op}'")
+        return self.advance()
+
+    def error(self, message: str) -> None:
+        token = self.current
+        shown = token.text or "<end of input>"
+        raise SyntaxError_(f"{message}, found {shown!r}", token.line, token.column)
+
+    def identifier(self) -> str:
+        token = self.current
+        if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            self.advance()
+            return token.text if token.type is TokenType.QUOTED_IDENTIFIER else token.text.lower()
+        # Allow non-reserved keywords as identifiers in common positions.
+        if token.type is TokenType.KEYWORD and token.upper in _NONRESERVED:
+            self.advance()
+            return token.text.lower()
+        self.error("Expected identifier")
+        raise AssertionError  # unreachable
+
+    def qualified_name(self) -> ast.QualifiedName:
+        parts = [self.identifier()]
+        while self.at_operator(".") and self.peek().type in (
+            TokenType.IDENTIFIER,
+            TokenType.QUOTED_IDENTIFIER,
+            TokenType.KEYWORD,
+        ):
+            self.advance()
+            parts.append(self.identifier())
+        return ast.QualifiedName(tuple(parts))
+
+    # ---- statements -----------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        stmt = self._statement()
+        self.accept_operator(";")
+        if self.current.type is not TokenType.EOF:
+            self.error("Unexpected trailing input")
+        return stmt
+
+    def _statement(self) -> ast.Statement:
+        if self.at_keyword("EXPLAIN"):
+            self.advance()
+            explain_type = "LOGICAL"
+            analyze = False
+            if self.accept_keyword("ANALYZE"):
+                analyze = True
+            if self.accept_operator("("):
+                # EXPLAIN (TYPE DISTRIBUTED)
+                word = self.identifier()
+                if word.lower() == "type":
+                    explain_type = self.identifier().upper()
+                self.expect_operator(")")
+            return ast.Explain(self._statement(), explain_type, analyze)
+        if self.at_keyword("INSERT"):
+            return self._insert()
+        if self.at_keyword("CREATE"):
+            return self._create_table_as()
+        if self.at_keyword("DROP"):
+            return self._drop_table()
+        if self.at_keyword("SHOW"):
+            return self._show()
+        return self.parse_query()
+
+    def _insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        target = self.qualified_name()
+        columns: tuple[str, ...] = ()
+        if self.at_operator("(") and self._looks_like_column_list():
+            self.advance()
+            cols = [self.identifier()]
+            while self.accept_operator(","):
+                cols.append(self.identifier())
+            self.expect_operator(")")
+            columns = tuple(cols)
+        query = self.parse_query()
+        return ast.Insert(target, query, columns)
+
+    def _looks_like_column_list(self) -> bool:
+        # Distinguish "INSERT INTO t (a, b) SELECT..." from
+        # "INSERT INTO t (SELECT ...)".
+        nxt = self.peek()
+        return nxt.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER)
+
+    def _create_table_as(self) -> ast.CreateTableAsSelect:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        name = self.qualified_name()
+        properties: list[tuple[str, ast.Expression]] = []
+        if self.at_keyword("WITH"):
+            self.advance()
+            self.expect_operator("(")
+            while True:
+                key = self.identifier()
+                self.expect_operator("=")
+                properties.append((key, self.expression()))
+                if not self.accept_operator(","):
+                    break
+            self.expect_operator(")")
+        self.expect_keyword("AS")
+        query = self.parse_query()
+        return ast.CreateTableAsSelect(name, query, tuple(properties))
+
+    def _drop_table(self) -> ast.DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropTable(self.qualified_name(), if_exists)
+
+    def _show(self) -> ast.Statement:
+        self.expect_keyword("SHOW")
+        if self.accept_keyword("TABLES"):
+            schema = None
+            if self.accept_keyword("FROM", "IN"):
+                schema = self.qualified_name()
+            return ast.ShowTables(schema)
+        if self.accept_keyword("COLUMNS"):
+            self.expect_keyword("FROM")
+            return ast.ShowColumns(self.qualified_name())
+        word = self.current
+        if word.type is TokenType.IDENTIFIER:
+            upper = word.text.upper()
+            if upper == "CATALOGS":
+                self.advance()
+                return ast.ShowCatalogs()
+            if upper == "SCHEMAS":
+                self.advance()
+                catalog = None
+                if self.accept_keyword("FROM", "IN"):
+                    catalog = self.identifier()
+                return ast.ShowSchemas(catalog)
+            if upper == "FUNCTIONS":
+                self.advance()
+                return ast.ShowFunctions()
+        self.error("Expected TABLES, COLUMNS, CATALOGS, SCHEMAS, or FUNCTIONS after SHOW")
+        raise AssertionError
+
+    # ---- queries ---------------------------------------------------------
+
+    def parse_query(self) -> ast.Query:
+        with_ = None
+        if self.at_keyword("WITH"):
+            with_ = self._with()
+        body = self._query_body()
+        order_by: tuple[ast.SortItem, ...] = ()
+        limit = None
+        # ORDER BY / LIMIT at query level apply to the set-op result.
+        if self.at_keyword("ORDER"):
+            order_by = self._order_by()
+        if self.at_keyword("LIMIT"):
+            limit = self._limit()
+        # If the body is a bare QuerySpecification, fold ORDER BY/LIMIT into it.
+        if isinstance(body, ast.QuerySpecification) and (order_by or limit is not None):
+            body = ast.QuerySpecification(
+                select=body.select,
+                from_=body.from_,
+                where=body.where,
+                group_by=body.group_by,
+                having=body.having,
+                order_by=order_by or body.order_by,
+                limit=limit if limit is not None else body.limit,
+            )
+            order_by, limit = (), None
+        return ast.Query(body=body, with_=with_, order_by=order_by, limit=limit)
+
+    def _with(self) -> ast.With:
+        self.expect_keyword("WITH")
+        self.accept_keyword("RECURSIVE")  # accepted, treated as plain WITH
+        queries = []
+        while True:
+            name = self.identifier()
+            column_names: tuple[str, ...] = ()
+            if self.at_operator("("):
+                self.advance()
+                cols = [self.identifier()]
+                while self.accept_operator(","):
+                    cols.append(self.identifier())
+                self.expect_operator(")")
+                column_names = tuple(cols)
+            self.expect_keyword("AS")
+            self.expect_operator("(")
+            query = self.parse_query()
+            self.expect_operator(")")
+            queries.append(ast.WithQuery(name, query, column_names))
+            if not self.accept_operator(","):
+                break
+        return ast.With(tuple(queries))
+
+    def _query_body(self) -> ast.QueryBody:
+        left = self._query_term()
+        while self.at_keyword("UNION", "INTERSECT", "EXCEPT"):
+            kind = ast.SetOpKind(self.advance().upper)
+            distinct = True
+            if self.accept_keyword("ALL"):
+                distinct = False
+            else:
+                self.accept_keyword("DISTINCT")
+            right = self._query_term()
+            left = ast.SetOperation(kind, left, right, distinct)
+        return left
+
+    def _query_term(self) -> ast.QueryBody:
+        if self.at_keyword("SELECT"):
+            return self._query_specification()
+        if self.at_keyword("VALUES"):
+            return ast.ValuesBody(self._values_rows())
+        if self.at_operator("("):
+            self.advance()
+            query = self.parse_query()
+            self.expect_operator(")")
+            return ast.TableSubqueryBody(query)
+        self.error("Expected SELECT, VALUES, or subquery")
+        raise AssertionError
+
+    def _values_rows(self) -> tuple[tuple[ast.Expression, ...], ...]:
+        self.expect_keyword("VALUES")
+        rows = []
+        while True:
+            if self.at_operator("("):
+                self.advance()
+                row = [self.expression()]
+                while self.accept_operator(","):
+                    row.append(self.expression())
+                self.expect_operator(")")
+                rows.append(tuple(row))
+            else:
+                rows.append((self.expression(),))
+            if not self.accept_operator(","):
+                break
+        return tuple(rows)
+
+    def _query_specification(self) -> ast.QuerySpecification:
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self.accept_keyword("ALL")
+        items = [self._select_item()]
+        while self.accept_operator(","):
+            items.append(self._select_item())
+        select = ast.Select(tuple(items), distinct)
+
+        from_ = None
+        if self.accept_keyword("FROM"):
+            from_ = self._relation()
+            while self.accept_operator(","):
+                right = self._relation()
+                from_ = ast.Join(ast.JoinType.IMPLICIT, from_, right, None)
+
+        where = self.expression() if self.accept_keyword("WHERE") else None
+
+        group_by = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = self._group_by()
+
+        having = self.expression() if self.accept_keyword("HAVING") else None
+
+        # ORDER BY / LIMIT belong to the enclosing query (ANSI): a spec
+        # inside a set operation cannot carry them, so parse_query folds
+        # them back into a lone specification.
+        return ast.QuerySpecification(
+            select=select,
+            from_=from_,
+            where=where,
+            group_by=group_by,
+            having=having,
+        )
+
+    def _group_by(self) -> ast.GroupBy:
+        """Plain GROUP BY, or GROUPING SETS / ROLLUP / CUBE."""
+        token = self.current
+        word = token.text.upper() if token.type is TokenType.IDENTIFIER else ""
+        if word in ("GROUPING", "ROLLUP", "CUBE"):
+            self.advance()
+            if word == "GROUPING":
+                if not (
+                    self.current.type is TokenType.IDENTIFIER
+                    and self.current.text.upper() == "SETS"
+                ):
+                    self.error("Expected SETS after GROUPING")
+                self.advance()
+                sets = self._grouping_set_list()
+            else:
+                columns = self._paren_expression_list()
+                if word == "ROLLUP":
+                    # (a, b) -> (a,b), (a), ()
+                    sets = tuple(
+                        tuple(columns[:i]) for i in range(len(columns), -1, -1)
+                    )
+                else:  # CUBE: all subsets
+                    sets = tuple(
+                        tuple(c for j, c in enumerate(columns) if mask & (1 << j))
+                        for mask in range((1 << len(columns)) - 1, -1, -1)
+                    )
+            all_exprs: list[ast.Expression] = []
+            for subset in sets:
+                for expr in subset:
+                    if expr not in all_exprs:
+                        all_exprs.append(expr)
+            return ast.GroupBy(tuple(all_exprs), sets)
+        exprs = [self.expression()]
+        while self.accept_operator(","):
+            exprs.append(self.expression())
+        return ast.GroupBy(tuple(exprs))
+
+    def _grouping_set_list(self) -> tuple[tuple[ast.Expression, ...], ...]:
+        self.expect_operator("(")
+        sets: list[tuple[ast.Expression, ...]] = []
+        while True:
+            if self.at_operator("("):
+                sets.append(tuple(self._paren_expression_list()))
+            else:
+                sets.append((self.expression(),))
+            if not self.accept_operator(","):
+                break
+        self.expect_operator(")")
+        return tuple(sets)
+
+    def _paren_expression_list(self) -> list[ast.Expression]:
+        self.expect_operator("(")
+        if self.accept_operator(")"):
+            return []
+        exprs = [self.expression()]
+        while self.accept_operator(","):
+            exprs.append(self.expression())
+        self.expect_operator(")")
+        return exprs
+
+    def _select_item(self) -> ast.SelectItem:
+        if self.at_operator("*"):
+            self.advance()
+            return ast.AllColumns()
+        # "t.*" / "schema.t.*"
+        save = self.pos
+        if self.current.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            try:
+                name = self.qualified_name()
+                if self.at_operator(".") and self.peek().text == "*":
+                    self.advance()  # .
+                    self.advance()  # *
+                    return ast.AllColumns(name)
+            except SyntaxError_:
+                pass
+            self.pos = save
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.identifier()
+        elif self.current.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            alias = self.identifier()
+        return ast.SingleColumn(expr, alias)
+
+    def _order_by(self) -> tuple[ast.SortItem, ...]:
+        self.expect_keyword("ORDER")
+        self.expect_keyword("BY")
+        items = [self._sort_item()]
+        while self.accept_operator(","):
+            items.append(self._sort_item())
+        return tuple(items)
+
+    def _sort_item(self) -> ast.SortItem:
+        key = self.expression()
+        ascending = True
+        if self.accept_keyword("ASC"):
+            ascending = True
+        elif self.accept_keyword("DESC"):
+            ascending = False
+        nulls_first = None
+        if self.accept_keyword("NULLS"):
+            if self.accept_keyword("FIRST"):
+                nulls_first = True
+            else:
+                self.expect_keyword("LAST")
+                nulls_first = False
+        return ast.SortItem(key, ascending, nulls_first)
+
+    def _limit(self) -> int:
+        self.expect_keyword("LIMIT")
+        if self.accept_keyword("ALL"):
+            return None  # type: ignore[return-value]
+        token = self.current
+        if token.type is not TokenType.INTEGER:
+            self.error("Expected integer after LIMIT")
+        self.advance()
+        return int(token.text)
+
+    # ---- relations --------------------------------------------------------
+
+    def _relation(self) -> ast.Relation:
+        left = self._sampled_relation()
+        while True:
+            if self.at_keyword("CROSS"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                right = self._sampled_relation()
+                left = ast.Join(ast.JoinType.CROSS, left, right, None)
+                continue
+            join_type = None
+            if self.at_keyword("JOIN"):
+                join_type = ast.JoinType.INNER
+                self.advance()
+            elif self.at_keyword("INNER"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                join_type = ast.JoinType.INNER
+            elif self.at_keyword("LEFT", "RIGHT", "FULL"):
+                kind = self.advance().upper
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                join_type = ast.JoinType(kind)
+            if join_type is None:
+                return left
+            right = self._sampled_relation()
+            criteria: ast.JoinOn | ast.JoinUsing | None = None
+            if self.accept_keyword("ON"):
+                criteria = ast.JoinOn(self.expression())
+            elif self.accept_keyword("USING"):
+                self.expect_operator("(")
+                cols = [self.identifier()]
+                while self.accept_operator(","):
+                    cols.append(self.identifier())
+                self.expect_operator(")")
+                criteria = ast.JoinUsing(tuple(cols))
+            left = ast.Join(join_type, left, right, criteria)
+
+    def _sampled_relation(self) -> ast.Relation:
+        relation = self._relation_primary()
+        if self.accept_keyword("AS"):
+            alias = self.identifier()
+            columns = self._optional_column_aliases()
+            relation = ast.AliasedRelation(relation, alias, columns)
+        elif (
+            self.current.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER)
+            and self.current.text.upper() != "TABLESAMPLE"
+        ):
+            alias = self.identifier()
+            columns = self._optional_column_aliases()
+            relation = ast.AliasedRelation(relation, alias, columns)
+        if (
+            self.current.type is TokenType.IDENTIFIER
+            and self.current.text.upper() == "TABLESAMPLE"
+        ):
+            self.advance()
+            method = self.identifier().upper()
+            if method not in ("BERNOULLI", "SYSTEM"):
+                self.error("Expected BERNOULLI or SYSTEM")
+            self.expect_operator("(")
+            percentage = self.expression()
+            self.expect_operator(")")
+            relation = ast.SampledRelation(relation, method, percentage)
+        return relation
+
+    def _optional_column_aliases(self) -> tuple[str, ...]:
+        if not self.at_operator("("):
+            return ()
+        self.advance()
+        cols = [self.identifier()]
+        while self.accept_operator(","):
+            cols.append(self.identifier())
+        self.expect_operator(")")
+        return tuple(cols)
+
+    def _relation_primary(self) -> ast.Relation:
+        if self.at_operator("("):
+            self.advance()
+            # Either a subquery or a parenthesized join.
+            if self.at_keyword("SELECT", "WITH", "VALUES") or self.at_operator("("):
+                query = self.parse_query()
+                self.expect_operator(")")
+                return ast.SubqueryRelation(query)
+            relation = self._relation()
+            self.expect_operator(")")
+            return relation
+        if self.at_keyword("UNNEST"):
+            self.advance()
+            self.expect_operator("(")
+            exprs = [self.expression()]
+            while self.accept_operator(","):
+                exprs.append(self.expression())
+            self.expect_operator(")")
+            with_ordinality = False
+            if self.accept_keyword("WITH"):
+                self.expect_keyword("ORDINALITY")
+                with_ordinality = True
+            return ast.Unnest(tuple(exprs), with_ordinality)
+        if self.at_keyword("VALUES"):
+            return ast.Values(self._values_rows())
+        if self.at_keyword("LATERAL"):
+            self.advance()
+            self.expect_operator("(")
+            query = self.parse_query()
+            self.expect_operator(")")
+            return ast.SubqueryRelation(query)
+        return ast.Table(self.qualified_name())
+
+    # ---- expressions -------------------------------------------------------
+
+    def expression(self) -> ast.Expression:
+        return self._binary_expression(0)
+
+    def _binary_expression(self, min_precedence: int) -> ast.Expression:
+        left = self._unary_expression()
+        while True:
+            left2 = self._postfix_predicates(left, min_precedence)
+            if left2 is not left:
+                left = left2
+                continue
+            token = self.current
+            op = None
+            if token.type is TokenType.OPERATOR and token.text in _PRECEDENCE:
+                op = token.text
+            elif token.type is TokenType.KEYWORD and token.upper in ("AND", "OR"):
+                op = token.upper
+            if op is None:
+                return left
+            precedence = _PRECEDENCE[op]
+            if precedence < min_precedence:
+                return left
+            self.advance()
+            right = self._binary_expression(precedence + 1)
+            if op in ("AND", "OR"):
+                logical_op = ast.LogicalOp(op)
+                terms: list[ast.Expression] = []
+                for side in (left, right):
+                    if isinstance(side, ast.Logical) and side.op is logical_op:
+                        terms.extend(side.terms)
+                    else:
+                        terms.append(side)
+                left = ast.Logical(logical_op, tuple(terms))
+            elif op in _COMPARISON_OPS:
+                left = ast.Comparison(_COMPARISON_OPS[op], left, right)
+            elif op == "||":
+                left = ast.FunctionCall(
+                    ast.QualifiedName(("concat",)), (left, right)
+                )
+            else:
+                left = ast.ArithmeticBinary(_ARITHMETIC_OPS[op], left, right)
+
+    def _postfix_predicates(
+        self, value: ast.Expression, min_precedence: int
+    ) -> ast.Expression:
+        """Handle IS NULL / BETWEEN / IN / LIKE / NOT variants (precedence 3)."""
+        if min_precedence > 3:
+            return value
+        if self.at_keyword("IS"):
+            self.advance()
+            negated = self.accept_keyword("NOT")
+            if self.accept_keyword("NULL"):
+                return ast.IsNotNull(value) if negated else ast.IsNull(value)
+            if self.accept_keyword("DISTINCT"):
+                self.expect_keyword("FROM")
+                right = self._binary_expression(4)
+                cmp = ast.Comparison(ast.ComparisonOp.IS_DISTINCT_FROM, value, right)
+                return ast.Not(cmp) if negated else cmp
+            self.error("Expected NULL or DISTINCT FROM after IS")
+        negated = False
+        save = self.pos
+        if self.at_keyword("NOT") and self.peek().upper in ("IN", "BETWEEN", "LIKE", "EXISTS"):
+            self.advance()
+            negated = True
+        if self.at_keyword("BETWEEN"):
+            self.advance()
+            low = self._binary_expression(5)
+            self.expect_keyword("AND")
+            high = self._binary_expression(5)
+            result: ast.Expression = ast.Between(value, low, high)
+            return ast.Not(result) if negated else result
+        if self.at_keyword("IN"):
+            self.advance()
+            self.expect_operator("(")
+            if self.at_keyword("SELECT", "WITH", "VALUES"):
+                query = self.parse_query()
+                self.expect_operator(")")
+                result = ast.InSubquery(value, query)
+            else:
+                items = [self.expression()]
+                while self.accept_operator(","):
+                    items.append(self.expression())
+                self.expect_operator(")")
+                result = ast.InList(value, tuple(items))
+            return ast.Not(result) if negated else result
+        if self.at_keyword("LIKE"):
+            self.advance()
+            pattern = self._binary_expression(5)
+            escape = None
+            if self.accept_keyword("ESCAPE"):
+                escape = self._binary_expression(5)
+            result = ast.Like(value, pattern, escape)
+            return ast.Not(result) if negated else result
+        if negated:
+            self.pos = save
+        return value
+
+    def _unary_expression(self) -> ast.Expression:
+        if self.at_keyword("NOT"):
+            self.advance()
+            return ast.Not(self._binary_expression(3))
+        if self.at_operator("-"):
+            self.advance()
+            operand = self._unary_expression()
+            if isinstance(operand, ast.LongLiteral):
+                return ast.LongLiteral(-operand.value)
+            if isinstance(operand, ast.DoubleLiteral):
+                return ast.DoubleLiteral(-operand.value)
+            return ast.ArithmeticUnary(-1, operand)
+        if self.at_operator("+"):
+            self.advance()
+            return self._unary_expression()
+        if self.at_keyword("EXISTS"):
+            self.advance()
+            self.expect_operator("(")
+            query = self.parse_query()
+            self.expect_operator(")")
+            return ast.Exists(query)
+        return self._postfix_expression()
+
+    def _postfix_expression(self) -> ast.Expression:
+        expr = self._primary_expression()
+        while True:
+            if self.at_operator("["):
+                self.advance()
+                index = self.expression()
+                self.expect_operator("]")
+                expr = ast.Subscript(expr, index)
+                continue
+            if self.at_operator(".") and self.peek().type in (
+                TokenType.IDENTIFIER,
+                TokenType.QUOTED_IDENTIFIER,
+            ):
+                self.advance()
+                expr = ast.Dereference(expr, self.identifier())
+                continue
+            return expr
+
+    def _primary_expression(self) -> ast.Expression:
+        token = self.current
+        if token.type is TokenType.INTEGER:
+            self.advance()
+            return ast.LongLiteral(int(token.text))
+        if token.type is TokenType.DECIMAL:
+            self.advance()
+            return ast.DoubleLiteral(float(token.text))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.StringLiteral(token.text)
+        if self.at_operator("?"):
+            self.advance()
+            return ast.Parameter(0)
+        if self.at_keyword("TRUE"):
+            self.advance()
+            return ast.BooleanLiteral(True)
+        if self.at_keyword("FALSE"):
+            self.advance()
+            return ast.BooleanLiteral(False)
+        if self.at_keyword("NULL"):
+            self.advance()
+            return ast.NullLiteral()
+        if self.at_keyword("INTERVAL"):
+            return self._interval()
+        if self.at_keyword("CAST", "TRY_CAST"):
+            safe = token.upper == "TRY_CAST"
+            self.advance()
+            self.expect_operator("(")
+            value = self.expression()
+            self.expect_keyword("AS")
+            target = self._type_name()
+            self.expect_operator(")")
+            return ast.Cast(value, target, safe)
+        if self.at_keyword("EXTRACT"):
+            self.advance()
+            self.expect_operator("(")
+            field = self.advance().text.lower()
+            self.expect_keyword("FROM")
+            value = self.expression()
+            self.expect_operator(")")
+            return ast.Extract(field, value)
+        if self.at_keyword("CASE"):
+            return self._case()
+        if self.at_keyword("ROW"):
+            self.advance()
+            self.expect_operator("(")
+            items = [self.expression()]
+            while self.accept_operator(","):
+                items.append(self.expression())
+            self.expect_operator(")")
+            return ast.RowConstructor(tuple(items))
+        if token.type is TokenType.IDENTIFIER and token.text.upper() == "ARRAY" and self.peek().text == "[":
+            self.advance()
+            self.advance()  # [
+            items = []
+            if not self.at_operator("]"):
+                items.append(self.expression())
+                while self.accept_operator(","):
+                    items.append(self.expression())
+            self.expect_operator("]")
+            return ast.ArrayConstructor(tuple(items))
+        if self.at_operator("("):
+            return self._paren_or_lambda()
+        # Typed literals: DATE '1995-03-15', TIMESTAMP '...'.
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.text.lower() in ("date", "timestamp")
+            and self.peek().type is TokenType.STRING
+        ):
+            type_name = token.text.lower()
+            self.advance()
+            literal = self.advance()
+            return ast.Cast(ast.StringLiteral(literal.text), type_name)
+        if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER) or (
+            token.type is TokenType.KEYWORD and token.upper in _NONRESERVED
+        ):
+            # Lambda with single parameter: x -> expr
+            if (
+                token.type is TokenType.IDENTIFIER
+                and self.peek().text == "->"
+            ):
+                name = self.identifier()
+                self.expect_operator("->")
+                body = self.expression()
+                return ast.Lambda((name,), body)
+            name = self.qualified_name()
+            if self.at_operator("("):
+                return self._function_call(name)
+            if len(name.parts) == 1:
+                return ast.Identifier(name.parts[0], quoted=token.type is TokenType.QUOTED_IDENTIFIER)
+            # Multi-part name: fold into nested dereference.
+            expr: ast.Expression = ast.Identifier(name.parts[0])
+            for part in name.parts[1:]:
+                expr = ast.Dereference(expr, part)
+            return expr
+        self.error("Expected expression")
+        raise AssertionError
+
+    def _paren_or_lambda(self) -> ast.Expression:
+        # "(a, b) -> expr" | "(SELECT ...)" | "(expr)" | "(expr, expr)" row
+        self.expect_operator("(")
+        if self.at_keyword("SELECT", "WITH") or (
+            self.at_keyword("VALUES")
+        ):
+            query = self.parse_query()
+            self.expect_operator(")")
+            return ast.ScalarSubquery(query)
+        # Try multi-parameter lambda: (x, y) -> ...
+        save = self.pos
+        params = []
+        is_lambda = False
+        while self.current.type is TokenType.IDENTIFIER:
+            params.append(self.current.text.lower())
+            self.advance()
+            if self.accept_operator(","):
+                continue
+            if self.at_operator(")") and self.peek().text == "->":
+                is_lambda = True
+            break
+        if is_lambda:
+            self.expect_operator(")")
+            self.expect_operator("->")
+            body = self.expression()
+            return ast.Lambda(tuple(params), body)
+        self.pos = save
+        expr = self.expression()
+        if self.accept_operator(","):
+            items = [expr, self.expression()]
+            while self.accept_operator(","):
+                items.append(self.expression())
+            self.expect_operator(")")
+            return ast.RowConstructor(tuple(items))
+        self.expect_operator(")")
+        return expr
+
+    def _interval(self) -> ast.IntervalLiteral:
+        self.expect_keyword("INTERVAL")
+        sign = 1
+        if self.accept_operator("-"):
+            sign = -1
+        else:
+            self.accept_operator("+")
+        token = self.current
+        if token.type is not TokenType.STRING:
+            self.error("Expected string literal in INTERVAL")
+        self.advance()
+        unit = self.advance().text.lower()
+        return ast.IntervalLiteral(token.text, unit, sign)
+
+    def _case(self) -> ast.Expression:
+        self.expect_keyword("CASE")
+        operand = None
+        if not self.at_keyword("WHEN"):
+            operand = self.expression()
+        whens = []
+        while self.accept_keyword("WHEN"):
+            condition = self.expression()
+            self.expect_keyword("THEN")
+            result = self.expression()
+            whens.append(ast.WhenClause(condition, result))
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.expression()
+        self.expect_keyword("END")
+        if operand is not None:
+            return ast.SimpleCase(operand, tuple(whens), default)
+        return ast.SearchedCase(tuple(whens), default)
+
+    def _function_call(self, name: ast.QualifiedName) -> ast.Expression:
+        self.expect_operator("(")
+        distinct = False
+        arguments: list[ast.Expression] = []
+        if self.at_operator("*"):
+            self.advance()
+            self.expect_operator(")")
+            # COUNT(*) becomes a zero-argument call.
+        else:
+            if not self.at_operator(")"):
+                if self.accept_keyword("DISTINCT"):
+                    distinct = True
+                else:
+                    self.accept_keyword("ALL")
+                arguments.append(self.expression())
+                while self.accept_operator(","):
+                    arguments.append(self.expression())
+            self.expect_operator(")")
+        filter_ = None
+        if self.at_keyword("FILTER"):
+            self.advance()
+            self.expect_operator("(")
+            self.expect_keyword("WHERE")
+            filter_ = self.expression()
+            self.expect_operator(")")
+        window = None
+        if self.at_keyword("OVER"):
+            window = self._window_spec()
+        return ast.FunctionCall(name, tuple(arguments), distinct, window, filter_)
+
+    def _window_spec(self) -> ast.WindowSpec:
+        self.expect_keyword("OVER")
+        self.expect_operator("(")
+        partition_by: tuple[ast.Expression, ...] = ()
+        order_by: tuple[ast.SortItem, ...] = ()
+        frame = None
+        if self.accept_keyword("PARTITION"):
+            self.expect_keyword("BY")
+            exprs = [self.expression()]
+            while self.accept_operator(","):
+                exprs.append(self.expression())
+            partition_by = tuple(exprs)
+        if self.at_keyword("ORDER"):
+            order_by = self._order_by()
+        if self.at_keyword("ROWS", "RANGE"):
+            frame = self._window_frame()
+        self.expect_operator(")")
+        return ast.WindowSpec(partition_by, order_by, frame)
+
+    def _window_frame(self) -> ast.WindowFrame:
+        frame_type = self.advance().upper
+        if self.accept_keyword("BETWEEN"):
+            start = self._frame_bound()
+            self.expect_keyword("AND")
+            end = self._frame_bound()
+        else:
+            start = self._frame_bound()
+            end = ast.FrameBound(ast.FrameBoundKind.CURRENT_ROW)
+        return ast.WindowFrame(frame_type, start, end)
+
+    def _frame_bound(self) -> ast.FrameBound:
+        if self.accept_keyword("UNBOUNDED"):
+            if self.accept_keyword("PRECEDING"):
+                return ast.FrameBound(ast.FrameBoundKind.UNBOUNDED_PRECEDING)
+            self.expect_keyword("FOLLOWING")
+            return ast.FrameBound(ast.FrameBoundKind.UNBOUNDED_FOLLOWING)
+        if self.accept_keyword("CURRENT"):
+            self.expect_keyword("ROW")
+            return ast.FrameBound(ast.FrameBoundKind.CURRENT_ROW)
+        value = self.expression()
+        if self.accept_keyword("PRECEDING"):
+            return ast.FrameBound(ast.FrameBoundKind.PRECEDING, value)
+        self.expect_keyword("FOLLOWING")
+        return ast.FrameBound(ast.FrameBoundKind.FOLLOWING, value)
+
+    def _type_name(self) -> str:
+        """Consume a type expression and return it as text."""
+        parts = [self.advance().text]
+        if self.at_operator("("):
+            depth = 0
+            while True:
+                token = self.advance()
+                parts.append(token.text)
+                if token.text == "(":
+                    depth += 1
+                elif token.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif token.type is TokenType.EOF:
+                    self.error("Unterminated type")
+        return (
+            " ".join(parts)
+            .replace(" (", "(")
+            .replace("( ", "(")
+            .replace(" )", ")")
+            .replace(" ,", ",")
+        )
+
+
+# Keywords allowed to double as identifiers (column names like "year").
+_NONRESERVED = frozenset(
+    """
+    DAY HOUR MINUTE SECOND MONTH YEAR FIRST LAST TABLES COLUMNS SHOW ROW
+    ROWS RANGE FILTER ORDINALITY IF ANALYZE DESCRIBE
+    """.split()
+)
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse a full SQL statement."""
+    return _Parser(sql).parse_statement()
+
+
+def parse_expression(sql: str) -> ast.Expression:
+    """Parse a standalone scalar expression (used by tests and tools)."""
+    parser = _Parser(sql)
+    expr = parser.expression()
+    if parser.current.type is not TokenType.EOF:
+        parser.error("Unexpected trailing input")
+    return expr

@@ -1,0 +1,57 @@
+"""Type system for the engine (paper Sec. IV-A).
+
+Presto closely follows ANSI SQL types; we implement the subset the
+reproduction needs plus the parametric types (ARRAY, MAP, ROW) the paper
+calls out as motivation for lambda support. Types are immutable, hashable
+value objects, compared structurally.
+"""
+
+from repro.types.types import (
+    ARRAY,
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    MAP,
+    ROW,
+    TIMESTAMP,
+    UNKNOWN,
+    VARBINARY,
+    VARCHAR,
+    ArrayType,
+    FunctionType,
+    MapType,
+    RowType,
+    Type,
+    parse_type,
+)
+from repro.types.coercion import (
+    can_coerce,
+    common_super_type,
+    is_type_only_coercion,
+)
+
+__all__ = [
+    "Type",
+    "ArrayType",
+    "MapType",
+    "RowType",
+    "FunctionType",
+    "BIGINT",
+    "INTEGER",
+    "BOOLEAN",
+    "DOUBLE",
+    "VARCHAR",
+    "VARBINARY",
+    "DATE",
+    "TIMESTAMP",
+    "UNKNOWN",
+    "ARRAY",
+    "MAP",
+    "ROW",
+    "parse_type",
+    "can_coerce",
+    "common_super_type",
+    "is_type_only_coercion",
+]

@@ -1,0 +1,109 @@
+"""Implicit coercion rules (paper Sec. IV-B2: "determine types and coercions").
+
+The lattice is deliberately small: ``unknown`` (the type of NULL) coerces
+to anything; ``integer -> bigint -> double``; ``varchar`` only to itself;
+parametric types coerce element-wise.
+"""
+
+from __future__ import annotations
+
+from repro.types.types import (
+    ARRAY,
+    BIGINT,
+    DOUBLE,
+    INTEGER,
+    MAP,
+    ROW,
+    UNKNOWN,
+    ArrayType,
+    MapType,
+    RowType,
+    Type,
+)
+
+from repro.types.types import DATE, TIMESTAMP, VARCHAR
+
+# Direct widening edges of the coercion lattice. Dates and timestamps are
+# integer-encoded (days / milliseconds since epoch), so integral types
+# coerce to them — an engine extension that keeps generated integer data
+# usable as dates.
+_WIDENING = {
+    INTEGER: {BIGINT, DOUBLE, DATE, TIMESTAMP},
+    BIGINT: {DOUBLE, DATE, TIMESTAMP},
+    DATE: {TIMESTAMP},
+    VARCHAR: {DATE, TIMESTAMP},
+}
+
+
+def can_coerce(source: Type, target: Type) -> bool:
+    """Return True if ``source`` can be implicitly coerced to ``target``."""
+    if source == target:
+        return True
+    if source == UNKNOWN:
+        return True
+    if target in _WIDENING.get(source, ()):  # integer->bigint, ->double
+        return True
+    if isinstance(source, ArrayType) and isinstance(target, ArrayType):
+        return can_coerce(source.element, target.element)
+    if isinstance(source, MapType) and isinstance(target, MapType):
+        return can_coerce(source.key, target.key) and can_coerce(source.value, target.value)
+    if isinstance(source, RowType) and isinstance(target, RowType):
+        if len(source.fields) != len(target.fields):
+            return False
+        return all(
+            can_coerce(s, t) for (_, s), (_, t) in zip(source.fields, target.fields)
+        )
+    return False
+
+
+def is_type_only_coercion(source: Type, target: Type) -> bool:
+    """True when coercion changes only the declared type, not the values.
+
+    ``integer -> bigint`` is type-only in this engine (both are Python
+    ints / int64 blocks); ``bigint -> double`` is not.
+    """
+    if source == target:
+        return True
+    if source == UNKNOWN:
+        return True
+    if source == INTEGER and target == BIGINT:
+        return True
+    if isinstance(source, ArrayType) and isinstance(target, ArrayType):
+        return is_type_only_coercion(source.element, target.element)
+    return False
+
+
+def common_super_type(a: Type, b: Type) -> Type | None:
+    """The least common type both operands coerce to, or None."""
+    if a == b:
+        return a
+    if a == UNKNOWN:
+        return b
+    if b == UNKNOWN:
+        return a
+    if can_coerce(a, b):
+        return b
+    if can_coerce(b, a):
+        return a
+    # integer/bigint vs double meet at double.
+    numeric = {INTEGER: 0, BIGINT: 1, DOUBLE: 2}
+    if a in numeric and b in numeric:
+        return max((a, b), key=lambda t: numeric[t])
+    if isinstance(a, ArrayType) and isinstance(b, ArrayType):
+        element = common_super_type(a.element, b.element)
+        return ARRAY(element) if element is not None else None
+    if isinstance(a, MapType) and isinstance(b, MapType):
+        key = common_super_type(a.key, b.key)
+        value = common_super_type(a.value, b.value)
+        if key is None or value is None:
+            return None
+        return MAP(key, value)
+    if isinstance(a, RowType) and isinstance(b, RowType) and len(a.fields) == len(b.fields):
+        fields = []
+        for (name_a, ta), (name_b, tb) in zip(a.fields, b.fields):
+            merged = common_super_type(ta, tb)
+            if merged is None:
+                return None
+            fields.append((name_a if name_a == name_b else None, merged))
+        return ROW(*fields)
+    return None

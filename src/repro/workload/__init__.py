@@ -1,0 +1,35 @@
+"""Workload generators for the paper's four use cases (Table I).
+
+Each generator reproduces one row of Table I: the connector, the query
+shapes ("joins, aggregations and window functions" for
+Developer/Advertiser Analytics; "transform, filter and join billions of
+rows" for A/B Testing; exploratory shapes for Interactive Analytics;
+"transform, filter, and join or aggregate" for Batch ETL), the target
+latency envelope, and the concurrency level — scaled down to the
+simulated substrate.
+"""
+
+from repro.workload.generators import (
+    ABTestingWorkload,
+    BatchEtlWorkload,
+    DeveloperAnalyticsWorkload,
+    InteractiveAnalyticsWorkload,
+)
+from repro.workload.datasets import (
+    setup_ab_testing_dataset,
+    setup_developer_analytics_dataset,
+    setup_warehouse_dataset,
+)
+from repro.workload.runner import WorkloadResult, run_workload
+
+__all__ = [
+    "DeveloperAnalyticsWorkload",
+    "ABTestingWorkload",
+    "InteractiveAnalyticsWorkload",
+    "BatchEtlWorkload",
+    "setup_ab_testing_dataset",
+    "setup_developer_analytics_dataset",
+    "setup_warehouse_dataset",
+    "run_workload",
+    "WorkloadResult",
+]

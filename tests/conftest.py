@@ -1,0 +1,55 @@
+"""Shared fixtures: a LocalEngine over the memory connector with a small
+star schema (orders / lineitem / customer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import LocalEngine
+from repro.connectors.memory import MemoryConnector
+from repro.types import BIGINT, DOUBLE, VARCHAR
+
+
+def make_engine(optimize: bool = True, statistics: bool = True) -> LocalEngine:
+    engine = LocalEngine(optimize=optimize)
+    connector = MemoryConnector(statistics_enabled=statistics)
+    engine.register_catalog("memory", connector)
+    connector.create_table_with_data(
+        "memory", "default", "orders",
+        [("orderkey", BIGINT), ("custkey", BIGINT), ("totalprice", DOUBLE), ("status", VARCHAR)],
+        [
+            (1, 10, 100.0, "OK"),
+            (2, 20, 50.0, "F"),
+            (3, 10, 75.0, "OK"),
+            (4, 30, 20.0, "F"),
+            (5, 20, 125.0, "OK"),
+        ],
+    )
+    connector.create_table_with_data(
+        "memory", "default", "lineitem",
+        [("orderkey", BIGINT), ("partkey", BIGINT), ("tax", DOUBLE), ("discount", DOUBLE)],
+        [
+            (1, 100, 5.0, 0.0),
+            (1, 101, 2.0, 0.1),
+            (2, 100, 1.0, 0.0),
+            (3, 102, 4.0, 0.0),
+            (5, 103, 7.5, 0.2),
+            (9, 104, 9.0, 0.0),
+        ],
+    )
+    connector.create_table_with_data(
+        "memory", "default", "customer",
+        [("custkey", BIGINT), ("name", VARCHAR), ("nation", VARCHAR)],
+        [(10, "alice", "US"), (20, "bob", "FR"), (30, "carol", "US"), (40, "dave", "DE")],
+    )
+    return engine
+
+
+@pytest.fixture
+def engine() -> LocalEngine:
+    return make_engine(optimize=True)
+
+
+@pytest.fixture
+def unoptimized_engine() -> LocalEngine:
+    return make_engine(optimize=False)

@@ -1,0 +1,171 @@
+"""Aggregate function tests, including the partial/final (combine)
+decomposition used across shuffle stages (paper Fig. 3)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.functions import FUNCTIONS
+from repro.types import BIGINT, BOOLEAN, DOUBLE, UNKNOWN, VARCHAR
+
+
+def run_aggregate(name, arg_types, rows):
+    """Single-pass aggregation over rows of argument tuples."""
+    function, _ = FUNCTIONS.resolve_aggregate(name, list(arg_types))
+    state = function.create()
+    for row in rows:
+        if any(a is None for a in row):
+            continue
+        state = function.add(state, *row)
+    return function.output(state)
+
+
+def run_split(name, arg_types, rows, split_at):
+    """Partial/partial/combine path: must equal the single-pass result."""
+    function, _ = FUNCTIONS.resolve_aggregate(name, list(arg_types))
+    state_a, state_b = function.create(), function.create()
+    for i, row in enumerate(rows):
+        if any(a is None for a in row):
+            continue
+        if i < split_at:
+            state_a = function.add(state_a, *row)
+        else:
+            state_b = function.add(state_b, *row)
+    return function.output(function.combine(state_a, state_b))
+
+
+def test_count_and_count_if():
+    assert run_aggregate("count", [], [()] * 5) == 5
+    assert run_aggregate("count", [BIGINT], [(1,), (None,), (3,)]) == 2
+    assert run_aggregate("count_if", [BOOLEAN], [(True,), (False,), (True,)]) == 2
+
+
+def test_sum_avg_min_max():
+    rows = [(1,), (5,), (3,)]
+    assert run_aggregate("sum", [BIGINT], rows) == 9
+    assert run_aggregate("avg", [BIGINT], rows) == 3.0
+    assert run_aggregate("min", [BIGINT], rows) == 1
+    assert run_aggregate("max", [BIGINT], rows) == 5
+
+
+def test_sum_empty_is_null():
+    assert run_aggregate("sum", [BIGINT], []) is None
+    assert run_aggregate("avg", [DOUBLE], []) is None
+
+
+def test_min_max_varchar():
+    rows = [("banana",), ("apple",)]
+    assert run_aggregate("min", [VARCHAR], rows) == "apple"
+    assert run_aggregate("max", [VARCHAR], rows) == "banana"
+
+
+def test_max_by_min_by():
+    rows = [("a", 3), ("b", 7), ("c", 1)]
+    assert run_aggregate("max_by", [VARCHAR, BIGINT], rows) == "b"
+    assert run_aggregate("min_by", [VARCHAR, BIGINT], rows) == "c"
+
+
+def test_stddev_variance():
+    rows = [(2.0,), (4.0,), (4.0,), (4.0,), (5.0,), (5.0,), (7.0,), (9.0,)]
+    assert run_aggregate("var_pop", [DOUBLE], rows) == pytest.approx(4.0)
+    assert run_aggregate("stddev_pop", [DOUBLE], rows) == pytest.approx(2.0)
+    assert run_aggregate("variance", [DOUBLE], rows) == pytest.approx(32 / 7)
+
+
+def test_bool_and_or():
+    assert run_aggregate("bool_and", [BOOLEAN], [(True,), (False,)]) is False
+    assert run_aggregate("bool_or", [BOOLEAN], [(False,), (True,)]) is True
+
+
+def test_array_agg_and_arbitrary():
+    assert run_aggregate("array_agg", [BIGINT], [(1,), (2,)]) == [1, 2]
+    assert run_aggregate("arbitrary", [BIGINT], [(7,), (8,)]) == 7
+
+
+def test_histogram():
+    result = run_aggregate("histogram", [VARCHAR], [("a",), ("b",), ("a",)])
+    assert result == {"a": 2, "b": 1}
+
+
+def test_geometric_mean():
+    assert run_aggregate("geometric_mean", [DOUBLE], [(2.0,), (8.0,)]) == pytest.approx(4.0)
+
+
+def test_approx_percentile():
+    rows = [(float(i), 0.5) for i in range(1, 101)]
+    median = run_aggregate("approx_percentile", [DOUBLE, DOUBLE], rows)
+    assert 45 <= median <= 56
+
+
+def test_approx_distinct_accuracy():
+    rows = [(f"value-{i}",) for i in range(2000)]
+    estimate = run_aggregate("approx_distinct", [VARCHAR], rows)
+    assert 1000 <= estimate <= 4000  # coarse sketch, order of magnitude
+
+
+@given(
+    st.lists(st.integers(-1000, 1000), min_size=1, max_size=40),
+    st.integers(0, 40),
+)
+def test_combine_equals_single_pass_sum(values, split):
+    rows = [(v,) for v in values]
+    assert run_split("sum", [BIGINT], rows, split) == run_aggregate("sum", [BIGINT], rows)
+
+
+@given(
+    st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=40),
+    st.integers(0, 40),
+)
+def test_combine_equals_single_pass_stddev(values, split):
+    rows = [(v,) for v in values]
+    merged = run_split("stddev", [DOUBLE], rows, split)
+    single = run_aggregate("stddev", [DOUBLE], rows)
+    if single is None:
+        assert merged is None
+    else:
+        assert merged == pytest.approx(single, abs=1e-6)
+
+
+@given(
+    st.lists(st.text(alphabet="abc", max_size=2), min_size=1, max_size=30),
+    st.integers(0, 30),
+)
+def test_combine_equals_single_pass_histogram(values, split):
+    rows = [(v,) for v in values]
+    assert run_split("histogram", [VARCHAR], rows, split) == run_aggregate(
+        "histogram", [VARCHAR], rows
+    )
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=30), st.integers(0, 30))
+def test_combine_equals_single_pass_minmax(values, split):
+    rows = [(v,) for v in values]
+    assert run_split("min", [BIGINT], rows, split) == min(values)
+    assert run_split("max", [BIGINT], rows, split) == max(values)
+
+
+def test_bivariate_statistics():
+    rows = [(2.0, 1.0), (4.0, 2.0), (6.0, 3.0), (9.0, 4.0)]
+    corr = run_aggregate("corr", [DOUBLE, DOUBLE], rows)
+    assert 0.99 < corr <= 1.0001
+    slope = run_aggregate("regr_slope", [DOUBLE, DOUBLE], rows)
+    assert slope == pytest.approx(2.3, abs=0.01)
+    intercept = run_aggregate("regr_intercept", [DOUBLE, DOUBLE], rows)
+    assert intercept == pytest.approx(2.0 + 4 + 6 + 9, abs=30)  # sanity bound
+    cov_pop = run_aggregate("covar_pop", [DOUBLE, DOUBLE], rows)
+    cov_samp = run_aggregate("covar_samp", [DOUBLE, DOUBLE], rows)
+    assert cov_samp == pytest.approx(cov_pop * 4 / 3)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(-50, 50, allow_nan=False), st.floats(-50, 50, allow_nan=False)),
+        min_size=3, max_size=30,
+    ),
+    st.integers(0, 30),
+)
+def test_bivariate_combine_equals_single_pass(pairs, split):
+    merged = run_split("covar_pop", [DOUBLE, DOUBLE], pairs, split)
+    single = run_aggregate("covar_pop", [DOUBLE, DOUBLE], pairs)
+    assert merged == pytest.approx(single, abs=1e-6)

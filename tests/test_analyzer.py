@@ -1,0 +1,216 @@
+"""Semantic analysis tests: scopes, types, coercions, lambdas, errors
+(paper Sec. IV-B2)."""
+
+import pytest
+
+from repro.analyzer.expression import ExpressionAnalyzer
+from repro.analyzer.scope import Field, Scope
+from repro.errors import (
+    AmbiguousNameError,
+    ColumnNotFoundError,
+    FunctionNotFoundError,
+    NotSupportedError,
+    SemanticError,
+    TypeError_,
+)
+from repro.planner import expressions as ir
+from repro.planner.symbols import Symbol
+from repro.sql import parse_expression
+from repro.types import (
+    ARRAY,
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    MAP,
+    ROW,
+    VARCHAR,
+)
+
+
+def make_scope(**columns):
+    fields = [
+        Field(name, type_, Symbol(name, type_), "t")
+        for name, type_ in columns.items()
+    ]
+    return Scope(fields)
+
+
+def analyze(sql, scope=None):
+    scope = scope or make_scope(a=BIGINT, b=BIGINT, x=DOUBLE, s=VARCHAR,
+                                arr=ARRAY(BIGINT), m=MAP(VARCHAR, BIGINT))
+    return ExpressionAnalyzer(scope).analyze(parse_expression(sql))
+
+
+# ---------------------------------------------------------------------------
+# Typing
+# ---------------------------------------------------------------------------
+
+
+def test_literal_types():
+    assert analyze("1").type is BIGINT
+    assert analyze("1.5").type is DOUBLE
+    assert analyze("'x'").type is VARCHAR
+    assert analyze("true").type is BOOLEAN
+
+
+def test_arithmetic_result_types():
+    assert analyze("a + b").type is BIGINT
+    assert analyze("a + x").type is DOUBLE
+    assert analyze("a / b").type is BIGINT  # SQL integer division
+    assert analyze("x / b").type is DOUBLE
+
+
+def test_comparison_coerces_operands():
+    expr = analyze("a > x")
+    assert expr.type is BOOLEAN
+    # The bigint side was coerced to double.
+    left = expr.arguments[0]
+    assert left.type is DOUBLE
+
+
+def test_case_branch_unification():
+    expr = analyze("CASE WHEN a > 1 THEN 1 ELSE 2.5 END")
+    assert expr.type is DOUBLE
+
+
+def test_case_incompatible_branches_rejected():
+    with pytest.raises(TypeError_):
+        analyze("CASE WHEN a > 1 THEN 1 ELSE 'x' END")
+
+
+def test_in_list_unifies_types():
+    expr = analyze("a IN (1, 2.5)")
+    assert expr.type is BOOLEAN
+    assert expr.arguments[0].type is DOUBLE
+
+
+def test_array_constructor_type():
+    assert analyze("ARRAY[1, 2, 3]").type == ARRAY(BIGINT)
+    assert analyze("ARRAY[1, 2.5]").type == ARRAY(DOUBLE)
+
+
+def test_subscript_types():
+    assert analyze("arr[1]").type is BIGINT
+    assert analyze("m['k']").type is BIGINT
+
+
+def test_row_constructor_and_field_access():
+    expr = analyze("ROW(1, 'x')[2]")
+    assert expr.type is VARCHAR
+
+
+def test_cast_types():
+    assert analyze("CAST(a AS varchar)").type is VARCHAR
+    assert analyze("CAST(s AS bigint)").type is BIGINT
+    assert analyze("TRY_CAST(s AS array(bigint))").type == ARRAY(BIGINT)
+
+
+def test_string_concat_rejected_with_plus():
+    with pytest.raises(TypeError_):
+        analyze("s + 1")
+
+
+def test_incomparable_types_rejected():
+    with pytest.raises(TypeError_):
+        analyze("s > a")
+
+
+# ---------------------------------------------------------------------------
+# Functions and lambdas
+# ---------------------------------------------------------------------------
+
+
+def test_function_resolution_and_coercion():
+    expr = analyze("abs(a)")
+    assert isinstance(expr, ir.Call)
+    assert expr.type is BIGINT
+    expr = analyze("sqrt(a)")  # bigint coerced to double
+    assert expr.type is DOUBLE
+
+
+def test_unknown_function():
+    with pytest.raises(FunctionNotFoundError):
+        analyze("frobnicate(a)")
+
+
+def test_lambda_parameter_typing():
+    expr = analyze("transform(arr, e -> e * 2)")
+    assert expr.type == ARRAY(BIGINT)
+    lam = expr.arguments[1]
+    assert isinstance(lam, ir.LambdaExpression)
+    assert lam.body.type is BIGINT
+
+
+def test_lambda_return_type_binds_result():
+    expr = analyze("transform(arr, e -> CAST(e AS varchar))")
+    assert expr.type == ARRAY(VARCHAR)
+
+
+def test_lambda_captures_outer_column():
+    expr = analyze("filter(arr, e -> e > a)")
+    assert expr.type == ARRAY(BIGINT)
+
+
+def test_reduce_typing():
+    expr = analyze("reduce(arr, 0, (acc, e) -> acc + e, acc -> acc * 2)")
+    assert expr.type is BIGINT
+
+
+def test_lambda_outside_higher_order_function_rejected():
+    with pytest.raises((SemanticError, FunctionNotFoundError)):
+        analyze("abs(e -> e)")
+
+
+def test_coalesce_and_if_special_forms():
+    assert analyze("coalesce(a, b, 0)").type is BIGINT
+    assert analyze("if(a > 1, 'yes', 'no')").type is VARCHAR
+    assert analyze("nullif(a, b)").type is BIGINT
+
+
+# ---------------------------------------------------------------------------
+# Scopes
+# ---------------------------------------------------------------------------
+
+
+def test_qualified_resolution():
+    scope = make_scope(a=BIGINT)
+    expr = ExpressionAnalyzer(scope).analyze(parse_expression("t.a"))
+    assert isinstance(expr, ir.Variable)
+
+
+def test_unknown_column():
+    with pytest.raises(ColumnNotFoundError):
+        analyze("nonexistent")
+
+
+def test_ambiguous_column():
+    fields = [
+        Field("k", BIGINT, Symbol("k_1", BIGINT), "t1"),
+        Field("k", BIGINT, Symbol("k_2", BIGINT), "t2"),
+    ]
+    with pytest.raises(AmbiguousNameError):
+        ExpressionAnalyzer(Scope(fields)).analyze(parse_expression("k"))
+
+
+def test_qualifier_disambiguates():
+    fields = [
+        Field("k", BIGINT, Symbol("k_1", BIGINT), "t1"),
+        Field("k", BIGINT, Symbol("k_2", BIGINT), "t2"),
+    ]
+    expr = ExpressionAnalyzer(Scope(fields)).analyze(parse_expression("t2.k"))
+    assert expr.name == "k_2"
+
+
+def test_correlated_reference_reported():
+    outer = make_scope(o=BIGINT)
+    inner = Scope([], parent=outer)
+    with pytest.raises(NotSupportedError):
+        ExpressionAnalyzer(inner).analyze(parse_expression("o"))
+
+
+def test_row_field_dereference():
+    row_type = ROW(("x", BIGINT), ("y", VARCHAR))
+    scope = Scope([Field("r", row_type, Symbol("r", row_type), "t")])
+    expr = ExpressionAnalyzer(scope).analyze(parse_expression("r.y"))
+    assert expr.type is VARCHAR
+    assert isinstance(expr, ir.SpecialForm) and expr.form == ir.DEREFERENCE

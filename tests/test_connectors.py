@@ -1,0 +1,360 @@
+"""Connector integration tests: hive, raptor, shardedsql, stream, tpch —
+each exercised through full SQL, plus the connector-specific behaviours
+the paper describes (partition pruning, stripe skipping, lazy loading,
+shard pruning, index pushdown, co-located layouts)."""
+
+import pytest
+
+from repro.client import LocalEngine
+from repro.connectors.hive import HiveConnector
+from repro.connectors.hive.format import OrcReader, OrcWriter, ReadStats
+from repro.connectors.predicate import Domain, Range, TupleDomain
+from repro.connectors.raptor import RaptorConnector
+from repro.connectors.shardedsql import ShardedSqlConnector
+from repro.connectors.stream import StreamConnector
+from repro.connectors.tpch import TpchConnector
+from repro.types import BIGINT, DOUBLE, VARCHAR
+
+
+# ---------------------------------------------------------------------------
+# ORC-like file format
+# ---------------------------------------------------------------------------
+
+
+def make_file(rows, schema=None, stripe_rows=4, bloom=()):
+    writer = OrcWriter(
+        schema or [("k", BIGINT), ("v", VARCHAR)], stripe_rows=stripe_rows,
+        bloom_columns=bloom,
+    )
+    writer.add_rows(rows)
+    return writer.finish()
+
+
+def test_orc_roundtrip():
+    rows = [(i, f"value-{i % 3}") for i in range(10)]
+    file = make_file(rows)
+    reader = OrcReader(file, ["k", "v"], lazy=False)
+    out = [row for page in reader.pages() for row in page.rows()]
+    assert out == rows
+
+
+def test_orc_stripe_boundaries():
+    file = make_file([(i, "x") for i in range(10)], stripe_rows=4)
+    assert [s.row_count for s in file.stripes] == [4, 4, 2]
+
+
+def test_orc_encodings_chosen():
+    # Constant column -> RLE; low-cardinality -> dict; unique -> plain.
+    rows = [(i, "const") for i in range(100)]
+    file = make_file(rows, stripe_rows=100)
+    stripe = file.stripes[0]
+    assert stripe.columns["v"].encoding == "rle"
+    assert stripe.columns["k"].encoding == "plain"
+    rows = [(i % 5, f"v{i % 4}") for i in range(100)]
+    file = make_file(rows, stripe_rows=100)
+    assert file.stripes[0].columns["v"].encoding == "dict"
+
+
+def test_orc_minmax_stripe_skipping():
+    rows = [(i, "x") for i in range(100)]
+    file = make_file(rows, stripe_rows=10)
+    stats = ReadStats()
+    constraint = TupleDomain({"k": Domain.range(Range(42, 44))})
+    reader = OrcReader(file, ["k"], constraint, lazy=False, stats=stats)
+    out = [row for page in reader.pages() for row in page.rows()]
+    assert stats.stripes_read == 1
+    assert stats.stripes_skipped == 9
+    assert all(40 <= r[0] < 50 for r in out)  # stripe granularity
+
+
+def test_orc_bloom_skipping():
+    # Values interleave so min/max can never prune; bloom must.
+    rows = [(i * 17 % 1000, "x") for i in range(100)]
+    file = make_file(rows, stripe_rows=10, bloom=("k",))
+    stats = ReadStats()
+    constraint = TupleDomain({"k": Domain.single_value(rows[5][0])})
+    reader = OrcReader(file, ["k"], constraint, lazy=False, stats=stats)
+    list(reader.pages())
+    assert stats.stripes_skipped >= 5
+
+
+def test_orc_lazy_columns_not_decoded():
+    rows = [(i, f"wide-string-{i}") for i in range(20)]
+    file = make_file(rows, stripe_rows=20)
+    stats = ReadStats()
+    reader = OrcReader(file, ["k", "v"], lazy=True, stats=stats)
+    pages = list(reader.pages())
+    # Touch only column k.
+    pages[0].block(0).to_values()
+    assert stats.columns_loaded == 1
+    assert stats.cells_loaded == 20
+
+
+def test_orc_nulls_preserved():
+    rows = [(None, "a"), (2, None), (None, None)]
+    file = make_file(rows, stripe_rows=10)
+    reader = OrcReader(file, ["k", "v"], lazy=False)
+    assert [row for page in reader.pages() for row in page.rows()] == rows
+
+
+# ---------------------------------------------------------------------------
+# Hive connector
+# ---------------------------------------------------------------------------
+
+
+def hive_engine():
+    engine = LocalEngine(catalog="hive", schema="default")
+    hive = HiveConnector(stripe_rows=500, bloom_columns=("orderkey",))
+    engine.register_catalog("hive", hive)
+    engine.register_catalog("tpch", TpchConnector(scale_factor=0.001))
+    return engine, hive
+
+
+def test_hive_ctas_roundtrip():
+    engine, _ = hive_engine()
+    engine.execute(
+        "CREATE TABLE t AS SELECT orderkey, totalprice FROM tpch.tiny.orders"
+    )
+    expected = engine.execute("SELECT count(*) FROM tpch.tiny.orders").scalar()
+    assert engine.execute("SELECT count(*) FROM t").scalar() == expected
+
+
+def test_hive_partition_pruning():
+    engine, hive = hive_engine()
+    engine.execute(
+        "CREATE TABLE p WITH (partitioned_by = 'orderstatus') AS "
+        "SELECT orderkey, totalprice, orderstatus FROM tpch.tiny.orders"
+    )
+    listings_before = hive.dfs.reads
+    total = engine.execute("SELECT count(*) FROM p WHERE orderstatus = 'F'").scalar()
+    # Only the 'F' partition's files were opened.
+    table = hive.metastore.require_table("default", "p")
+    f_files = len(table.partitions[("F",)].file_paths)
+    assert hive.dfs.reads - listings_before == f_files
+    assert total == engine.execute(
+        "SELECT count(*) FROM p WHERE orderstatus = 'F' AND orderkey >= 0"
+    ).scalar()
+
+
+def test_hive_statistics_flow_to_optimizer():
+    engine, hive = hive_engine()
+    engine.execute("CREATE TABLE s AS SELECT orderkey, custkey FROM tpch.tiny.orders")
+    stats = hive.metastore.get_statistics("default", "s")
+    assert stats.row_count == 1500
+    assert stats.column("orderkey").distinct_count == 1500
+
+
+def test_hive_stats_disabled_mode():
+    engine = LocalEngine(catalog="hive", schema="default")
+    hive = HiveConnector(statistics_enabled=False)
+    engine.register_catalog("hive", hive)
+    engine.register_catalog("tpch", TpchConnector(scale_factor=0.001))
+    engine.execute("CREATE TABLE ns AS SELECT orderkey FROM tpch.tiny.orders")
+    handle = hive.metadata.get_table_handle("default", "ns")
+    assert hive.metadata.get_statistics(handle).is_empty()
+
+
+def test_hive_insert_appends():
+    engine, _ = hive_engine()
+    engine.execute("CREATE TABLE ins AS SELECT 1 a")
+    engine.execute("INSERT INTO ins SELECT 2")
+    assert sorted(engine.execute("SELECT a FROM ins").rows) == [(1,), (2,)]
+
+
+def test_hive_lazy_loading_counters():
+    engine, hive = hive_engine()
+    engine.execute(
+        "CREATE TABLE lazy AS SELECT orderkey, custkey, totalprice, orderpriority "
+        "FROM tpch.tiny.orders"
+    )
+    before = hive.read_stats.cells_loaded
+    engine.execute("SELECT sum(totalprice) FROM lazy")
+    loaded = hive.read_stats.cells_loaded - before
+    assert loaded == 1500  # one column's cells, not four
+
+
+# ---------------------------------------------------------------------------
+# Raptor connector
+# ---------------------------------------------------------------------------
+
+
+def raptor_engine(hosts=("n1", "n2", "n3", "n4")):
+    engine = LocalEngine(catalog="raptor", schema="default")
+    raptor = RaptorConnector(hosts=hosts)
+    engine.register_catalog("raptor", raptor)
+    engine.register_catalog("tpch", TpchConnector(scale_factor=0.001))
+    return engine, raptor
+
+
+def test_raptor_roundtrip():
+    engine, _ = raptor_engine()
+    engine.execute("CREATE TABLE r AS SELECT orderkey, totalprice FROM tpch.tiny.orders")
+    assert engine.execute("SELECT count(*) FROM r").scalar() == 1500
+
+
+def test_raptor_bucketing_and_shard_placement():
+    engine, raptor = raptor_engine()
+    engine.execute(
+        "CREATE TABLE b WITH (bucketed_by = 'orderkey', bucket_count = 8) AS "
+        "SELECT orderkey, totalprice FROM tpch.tiny.orders"
+    )
+    table = raptor.table(raptor.metadata.get_table_handle("default", "b"))
+    buckets = {s.bucket for s in table.shards}
+    assert buckets <= set(range(8))
+    # Same bucket -> same host (stable node assignment).
+    by_bucket = {}
+    for shard in table.shards:
+        assert by_bucket.setdefault(shard.bucket, shard.host) == shard.host
+    # Splits are node-pinned and not remotely accessible.
+    layout = raptor.metadata.get_layouts(
+        raptor.metadata.get_table_handle("default", "b"), TupleDomain.all(), []
+    )[0]
+    splits = raptor.split_source(layout).get_next_batch(1000)
+    assert all(not s.remotely_accessible and len(s.addresses) == 1 for s in splits)
+
+
+def test_raptor_colocated_join_plan():
+    engine, raptor = raptor_engine()
+    engine.execute(
+        "CREATE TABLE fact WITH (bucketed_by = 'orderkey', bucket_count = 4) AS "
+        "SELECT orderkey, totalprice FROM tpch.tiny.orders"
+    )
+    engine.execute(
+        "CREATE TABLE dim WITH (bucketed_by = 'orderkey', bucket_count = 4) AS "
+        "SELECT orderkey, orderpriority FROM tpch.tiny.orders"
+    )
+    text = engine.execute(
+        "EXPLAIN SELECT count(*) FROM fact f JOIN dim d ON f.orderkey = d.orderkey"
+    ).rows[0][0]
+    assert "COLOCATED" in text
+    # And it still returns correct results.
+    assert engine.execute(
+        "SELECT count(*) FROM fact f JOIN dim d ON f.orderkey = d.orderkey"
+    ).scalar() == 1500
+
+
+def test_raptor_sorted_shards():
+    engine, raptor = raptor_engine()
+    engine.execute(
+        "CREATE TABLE so WITH (sorted_by = 'orderkey') AS "
+        "SELECT orderkey FROM tpch.tiny.orders"
+    )
+    table = raptor.table(raptor.metadata.get_table_handle("default", "so"))
+    for shard in table.shards:
+        reader = OrcReader(shard.file, ["orderkey"], lazy=False)
+        values = [r[0] for page in reader.pages() for r in page.rows()]
+        assert values == sorted(values)
+
+
+# ---------------------------------------------------------------------------
+# Sharded SQL connector
+# ---------------------------------------------------------------------------
+
+
+def sharded_engine():
+    engine = LocalEngine(catalog="shardedsql", schema="default")
+    sharded = ShardedSqlConnector(shard_count=8)
+    engine.register_catalog("shardedsql", sharded)
+    engine.register_catalog("tpch", TpchConnector(scale_factor=0.001))
+    return engine, sharded
+
+
+def test_sharded_roundtrip_and_pruning():
+    engine, sharded = sharded_engine()
+    engine.execute(
+        "CREATE TABLE ads WITH (shard_by = 'custkey', indexes = 'orderkey') AS "
+        "SELECT orderkey, custkey, totalprice FROM tpch.tiny.orders"
+    )
+    assert engine.execute("SELECT count(*) FROM ads").scalar() == 1500
+    # Point predicate on shard key restricts the layout to one shard.
+    handle = sharded.metadata.get_table_handle("default", "ads")
+    layout = sharded.metadata.get_layouts(
+        handle, TupleDomain({"custkey": Domain.single_value(7)}), []
+    )[0]
+    _, matched, _ = layout.handle
+    assert len(matched) == 1
+    # The query is correct under pruning.
+    expected = [
+        r for r in engine.execute("SELECT custkey FROM ads").rows if r[0] == 7
+    ]
+    assert engine.execute("SELECT count(*) FROM ads WHERE custkey = 7").scalar() == len(expected)
+
+
+def test_sharded_index_pushdown():
+    engine, sharded = sharded_engine()
+    engine.execute(
+        "CREATE TABLE idx WITH (shard_by = 'custkey', indexes = 'orderkey') AS "
+        "SELECT orderkey, custkey FROM tpch.tiny.orders"
+    )
+    assert engine.execute("SELECT custkey FROM idx WHERE orderkey = 42").rows
+    # Range predicates on the indexed column are served by index scans.
+    result = engine.execute("SELECT count(*) FROM idx WHERE orderkey BETWEEN 10 AND 19").scalar()
+    assert result == 10
+
+
+def test_sharded_index_join():
+    engine, sharded = sharded_engine()
+    engine.execute(
+        "CREATE TABLE prod WITH (shard_by = 'orderkey') AS "
+        "SELECT orderkey, totalprice FROM tpch.tiny.orders"
+    )
+    before = sharded.index_lookups
+    text = engine.execute(
+        "EXPLAIN SELECT p.totalprice FROM (VALUES 1, 2, 3) t(k) "
+        "JOIN prod p ON t.k = p.orderkey"
+    ).rows[0][0]
+    assert "IndexJoin" in text
+    result = engine.execute(
+        "SELECT count(*) FROM (VALUES 1, 2, 3) t(k) JOIN prod p ON t.k = p.orderkey"
+    ).scalar()
+    assert result == 3
+    assert sharded.index_lookups > before
+
+
+# ---------------------------------------------------------------------------
+# Stream connector
+# ---------------------------------------------------------------------------
+
+
+def test_stream_connector():
+    engine = LocalEngine(catalog="stream", schema="default")
+    stream = StreamConnector(partitions_per_topic=2)
+    engine.register_catalog("stream", stream)
+    stream.create_topic("events", [("user", VARCHAR), ("amount", DOUBLE)])
+    for i in range(10):
+        stream.produce("events", timestamp=i * 1000, values=(f"user{i % 3}", float(i)))
+    assert engine.execute("SELECT count(*) FROM events").scalar() == 10
+    result = engine.execute(
+        "SELECT user, sum(amount) FROM events GROUP BY 1 ORDER BY 1"
+    ).rows
+    assert len(result) == 3
+    # Offset predicates are enforced per partition.
+    bounded = engine.execute("SELECT count(*) FROM events WHERE _offset < 2").scalar()
+    assert bounded <= 4  # at most 2 per partition
+
+
+# ---------------------------------------------------------------------------
+# TPC-H generator
+# ---------------------------------------------------------------------------
+
+
+def test_tpch_determinism():
+    a = TpchConnector(scale_factor=0.001)
+    b = TpchConnector(scale_factor=0.001)
+    assert a.generate_rows("customer") == b.generate_rows("customer")
+
+
+def test_tpch_referential_integrity():
+    tpch = TpchConnector(scale_factor=0.001)
+    customers = {r[0] for r in tpch.generate_rows("customer")}
+    orders = tpch.generate_rows("orders")
+    assert all(o[1] in customers for o in orders)
+    order_keys = {o[0] for o in orders}
+    lineitems = tpch.generate_rows("lineitem")
+    assert all(l[0] in order_keys for l in lineitems)
+
+
+def test_tpch_statistics_match_reality():
+    tpch = TpchConnector(scale_factor=0.001)
+    stats = tpch.statistics("orders")
+    assert stats.row_count == len(tpch.generate_rows("orders"))

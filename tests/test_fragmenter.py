@@ -1,0 +1,208 @@
+"""Fragmenter tests: exchange insertion, partial/final splits, and
+property-based shuffle elision (paper Sec. IV-C3, Fig. 3)."""
+
+import pytest
+
+from repro.catalog.metadata import Metadata
+from repro.connectors.api import TablePartitioning
+from repro.connectors.memory import MemoryConnector
+from repro.optimizer import optimize_plan
+from repro.planner import nodes as plan
+from repro.planner.fragmenter import fragment_plan
+from repro.planner.planner import LogicalPlanner, SessionContext
+from repro.sql import parse_statement
+from repro.types import BIGINT, DOUBLE, VARCHAR
+
+
+def build_metadata(partition_orders=False, partition_lineitem=False):
+    memory = MemoryConnector()
+    part = lambda: TablePartitioning(("orderkey",), 8, partitioning_handle="h8")
+    memory.create_table_with_data(
+        "memory", "default", "orders",
+        [("orderkey", BIGINT), ("custkey", BIGINT), ("totalprice", DOUBLE)],
+        [(i, i % 10, float(i)) for i in range(100)],
+        partitioning=part() if partition_orders else None,
+    )
+    memory.create_table_with_data(
+        "memory", "default", "lineitem",
+        [("orderkey", BIGINT), ("tax", DOUBLE), ("discount", DOUBLE)],
+        [(i % 100, float(i), 0.0) for i in range(300)],
+        partitioning=part() if partition_lineitem else None,
+    )
+    metadata = Metadata()
+    metadata.register_catalog("memory", memory)
+    return metadata
+
+
+def fragments_for(sql, metadata=None, optimize=True):
+    metadata = metadata or build_metadata()
+    planner = LogicalPlanner(metadata, SessionContext("memory", "default"))
+    logical = planner.plan_statement(parse_statement(sql))
+    if optimize:
+        logical = optimize_plan(logical, metadata, planner.symbols)
+    return fragment_plan(logical)
+
+
+def nodes_of(fragmented, node_type):
+    return [
+        n
+        for f in fragmented.fragments.values()
+        for n in plan.walk_plan(f.root)
+        if isinstance(n, node_type)
+    ]
+
+
+def test_simple_scan_has_two_fragments():
+    fragmented = fragments_for("SELECT orderkey FROM orders")
+    # Distributed scan + single output stage.
+    assert len(fragmented.fragments) == 2
+    kinds = {f.partitioning for f in fragmented.fragments.values()}
+    assert kinds == {"source", "single"}
+
+
+def test_select_constant_single_fragment():
+    fragmented = fragments_for("SELECT 1 + 1")
+    assert len(fragmented.fragments) == 1
+    assert fragmented.root_fragment.partitioning == "single"
+
+
+def test_aggregation_splits_partial_final():
+    fragmented = fragments_for(
+        "SELECT custkey, sum(totalprice) FROM orders GROUP BY custkey"
+    )
+    steps = sorted(a.step.value for a in nodes_of(fragmented, plan.AggregationNode))
+    assert steps == ["FINAL", "PARTIAL"]
+    # The shuffle between them repartitions on the grouping key.
+    repartition_fragments = [
+        f
+        for f in fragmented.fragments.values()
+        if f.output_kind is plan.ExchangeKind.REPARTITION
+    ]
+    assert any(
+        [s.name for s in f.output_keys] == ["custkey"] for f in repartition_fragments
+    )
+
+
+def test_global_aggregation_gathers():
+    fragmented = fragments_for("SELECT sum(totalprice) FROM orders")
+    steps = sorted(a.step.value for a in nodes_of(fragmented, plan.AggregationNode))
+    assert steps == ["FINAL", "PARTIAL"]
+    assert all(
+        f.output_kind in (plan.ExchangeKind.GATHER,)
+        for f in fragmented.fragments.values()
+    )
+
+
+def test_distinct_aggregate_not_split():
+    fragmented = fragments_for("SELECT count(DISTINCT custkey) FROM orders")
+    aggs = nodes_of(fragmented, plan.AggregationNode)
+    assert all(a.step is plan.AggregationStep.SINGLE for a in aggs)
+
+
+def test_partitioned_join_shuffles_both_sides():
+    fragmented = fragments_for(
+        "SELECT count(*) FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey",
+        metadata=build_metadata(),
+        optimize=False,  # no stats logic: default partitioned
+    )
+    repartitions = [
+        f
+        for f in fragmented.fragments.values()
+        if f.output_kind is plan.ExchangeKind.REPARTITION
+    ]
+    assert len(repartitions) == 2
+
+
+def test_colocated_join_elides_all_shuffles():
+    metadata = build_metadata(partition_orders=True, partition_lineitem=True)
+    fragmented = fragments_for(
+        "SELECT o.orderkey, sum(l.tax) FROM orders o "
+        "JOIN lineitem l ON o.orderkey = l.orderkey GROUP BY o.orderkey",
+        metadata=metadata,
+    )
+    joins = nodes_of(fragmented, plan.JoinNode)
+    assert [j.distribution for j in joins] == [plan.JoinDistribution.COLOCATED]
+    aggs = nodes_of(fragmented, plan.AggregationNode)
+    assert all(a.step is plan.AggregationStep.SINGLE for a in aggs)
+    # One data stage + the output stage.
+    assert len(fragmented.fragments) == 2
+
+
+def test_aggregation_on_partitioned_table_stays_single():
+    metadata = build_metadata(partition_orders=True)
+    fragmented = fragments_for(
+        "SELECT orderkey, count(*) FROM orders GROUP BY orderkey", metadata=metadata
+    )
+    aggs = nodes_of(fragmented, plan.AggregationNode)
+    assert all(a.step is plan.AggregationStep.SINGLE for a in aggs)
+
+
+def test_sort_becomes_partial_plus_merging_gather():
+    fragmented = fragments_for("SELECT orderkey FROM orders ORDER BY totalprice")
+    sorts = nodes_of(fragmented, plan.SortNode)
+    assert any(s.is_partial for s in sorts)
+    # The gather carries the ordering (merge).
+    ordered_gathers = [
+        f for f in fragmented.fragments.values() if f.output_ordering
+    ]
+    assert ordered_gathers
+
+
+def test_topn_partial_and_final():
+    fragmented = fragments_for(
+        "SELECT orderkey FROM orders ORDER BY totalprice DESC LIMIT 5"
+    )
+    topns = nodes_of(fragmented, plan.TopNNode)
+    assert sorted(t.is_partial for t in topns) == [False, True]
+
+
+def test_limit_partial_and_final():
+    fragmented = fragments_for("SELECT orderkey FROM orders LIMIT 7")
+    limits = nodes_of(fragmented, plan.LimitNode)
+    assert sorted(l.is_partial for l in limits) == [False, True]
+
+
+def test_window_repartitions_on_partition_keys():
+    fragmented = fragments_for(
+        "SELECT custkey, rank() OVER (PARTITION BY custkey ORDER BY totalprice) FROM orders"
+    )
+    repartitions = [
+        f
+        for f in fragmented.fragments.values()
+        if f.output_kind is plan.ExchangeKind.REPARTITION
+    ]
+    assert any(
+        [s.name for s in f.output_keys][0].startswith("custkey")
+        for f in repartitions
+    )
+
+
+def test_distinct_repartitions_and_keeps_partial():
+    fragmented = fragments_for("SELECT DISTINCT custkey FROM orders")
+    distincts = nodes_of(fragmented, plan.DistinctNode)
+    assert len(distincts) == 2  # partial below the shuffle, final above
+
+
+def test_fragment_ids_unique_and_linked():
+    fragmented = fragments_for(
+        "SELECT custkey, sum(totalprice) FROM orders GROUP BY custkey ORDER BY 2 DESC LIMIT 3"
+    )
+    ids = list(fragmented.fragments)
+    assert len(ids) == len(set(ids))
+    for fragment in fragmented.fragments.values():
+        for child_id in fragment.remote_source_ids:
+            assert child_id in fragmented.fragments
+
+
+def test_remote_sources_match_child_outputs():
+    fragmented = fragments_for(
+        "SELECT custkey, count(*) FROM orders GROUP BY custkey"
+    )
+    for fragment in fragmented.fragments.values():
+        for node in plan.walk_plan(fragment.root):
+            if isinstance(node, plan.RemoteSourceNode):
+                for child_id in node.fragment_ids:
+                    child = fragmented.fragments[child_id]
+                    assert [s.name for s in child.root.output_symbols] == [
+                        s.name for s in node.outputs
+                    ]

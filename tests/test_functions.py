@@ -1,0 +1,154 @@
+"""Scalar function library tests (resolution + semantics)."""
+
+import math
+
+import pytest
+
+from repro.errors import (
+    DivisionByZeroError,
+    FunctionNotFoundError,
+    InvalidFunctionArgumentError,
+)
+from repro.functions import FUNCTIONS
+from repro.types import ARRAY, BIGINT, BOOLEAN, DATE, DOUBLE, MAP, TIMESTAMP, UNKNOWN, VARCHAR
+
+
+def call(name, arg_types, *args):
+    function, bindings = FUNCTIONS.resolve_scalar(name, list(arg_types))
+    return function.impl(*args)
+
+
+def test_overload_resolution_exact_beats_coerced():
+    f, _ = FUNCTIONS.resolve_scalar("abs", [BIGINT])
+    assert f.signature.return_type is BIGINT
+    f, _ = FUNCTIONS.resolve_scalar("abs", [DOUBLE])
+    assert f.signature.return_type is DOUBLE
+
+
+def test_unknown_function():
+    with pytest.raises(FunctionNotFoundError):
+        FUNCTIONS.resolve_scalar("frobnicate", [])
+
+
+def test_wrong_arity():
+    with pytest.raises(FunctionNotFoundError):
+        FUNCTIONS.resolve_scalar("abs", [BIGINT, BIGINT])
+
+
+def test_variadic_concat():
+    assert call("concat", [VARCHAR] * 4, "a", "b", "c", "d") == "abcd"
+
+
+def test_generic_binding():
+    f, bindings = FUNCTIONS.resolve_scalar("greatest", [BIGINT, BIGINT])
+    assert FUNCTIONS.signature_return_type(f.signature, bindings) is BIGINT
+
+
+def test_math():
+    assert call("ceil", [DOUBLE], 1.2) == 2
+    assert call("floor", [DOUBLE], -1.2) == -2
+    assert call("round", [DOUBLE], 2.5) == 3
+    assert call("round", [DOUBLE], -2.5) == -3
+    assert call("round", [DOUBLE, BIGINT], 2.345, 2) == pytest.approx(2.35)
+    assert call("mod", [BIGINT, BIGINT], -7, 3) == -1  # truncated, SQL style
+    assert call("width_bucket", [DOUBLE] * 3 + [BIGINT], 5.0, 0.0, 10.0, 10) == 6
+
+
+def test_math_errors():
+    with pytest.raises(DivisionByZeroError):
+        call("mod", [BIGINT, BIGINT], 1, 0)
+    with pytest.raises(InvalidFunctionArgumentError):
+        call("ln", [DOUBLE], -1.0)
+
+
+def test_strings():
+    assert call("substr", [VARCHAR, BIGINT], "hello", 2) == "ello"
+    assert call("substr", [VARCHAR, BIGINT, BIGINT], "hello", 2, 2) == "el"
+    assert call("substr", [VARCHAR, BIGINT], "hello", -3) == "llo"
+    assert call("split_part", [VARCHAR, VARCHAR, BIGINT], "a,b,c", ",", 2) == "b"
+    assert call("split_part", [VARCHAR, VARCHAR, BIGINT], "a,b", ",", 5) is None
+    assert call("strpos", [VARCHAR, VARCHAR], "hello", "ll") == 3
+    assert call("lpad", [VARCHAR, BIGINT, VARCHAR], "x", 3, "ab") == "abx"
+    assert call("rpad", [VARCHAR, BIGINT, VARCHAR], "x", 3, "ab") == "xab"
+    assert call("levenshtein_distance", [VARCHAR, VARCHAR], "kitten", "sitting") == 3
+    assert call("reverse", [VARCHAR], "abc") == "cba"
+
+
+def test_regex():
+    assert call("regexp_like", [VARCHAR, VARCHAR], "hello42", r"\d+") is True
+    assert call("regexp_extract", [VARCHAR, VARCHAR], "a1b2", r"\d") == "1"
+    assert call("regexp_replace", [VARCHAR] * 3, "a1b2", r"\d", "") == "ab"
+
+
+def test_arrays():
+    assert call("cardinality", [ARRAY(BIGINT)], [1, 2]) == 2
+    assert call("contains", [ARRAY(BIGINT), BIGINT], [1, 2], 2) is True
+    assert call("array_distinct", [ARRAY(BIGINT)], [1, 1, 2]) == [1, 2]
+    assert call("array_sort", [ARRAY(BIGINT)], [3, None, 1]) == [1, 3, None]
+    assert call("slice", [ARRAY(BIGINT), BIGINT, BIGINT], [1, 2, 3, 4], 2, 2) == [2, 3]
+    assert call("sequence", [BIGINT, BIGINT], 1, 4) == [1, 2, 3, 4]
+    assert call("element_at", [ARRAY(BIGINT), BIGINT], [1, 2], -1) == 2
+    assert call("element_at", [ARRAY(BIGINT), BIGINT], [1, 2], 9) is None
+    assert call("flatten", [ARRAY(ARRAY(BIGINT))], [[1], [2, 3]]) == [1, 2, 3]
+    assert call("array_intersect", [ARRAY(BIGINT)] * 2, [1, 2, 2], [2, 3]) == [2]
+    assert call("array_union", [ARRAY(BIGINT)] * 2, [1, 2], [2, 3]) == [1, 2, 3]
+    assert call("array_except", [ARRAY(BIGINT)] * 2, [1, 2], [2]) == [1]
+
+
+def test_higher_order():
+    assert call("transform", [ARRAY(BIGINT), UNKNOWN], [1, 2], lambda x: x * 2) == [2, 4]
+    assert call("filter", [ARRAY(BIGINT), UNKNOWN], [1, 2, 3], lambda x: x > 1) == [2, 3]
+    assert (
+        call(
+            "reduce",
+            [ARRAY(BIGINT), BIGINT, UNKNOWN, UNKNOWN],
+            [1, 2, 3],
+            0,
+            lambda s, x: s + x,
+            lambda s: s,
+        )
+        == 6
+    )
+    assert call("any_match", [ARRAY(BIGINT), UNKNOWN], [1, 2], lambda x: x == 2) is True
+    assert call("zip_with", [ARRAY(BIGINT)] * 2 + [UNKNOWN], [1, 2], [10, 20], lambda a, b: a + b) == [11, 22]
+
+
+def test_maps():
+    assert call("map_keys", [MAP(VARCHAR, BIGINT)], {"a": 1}) == ["a"]
+    assert call("map_values", [MAP(VARCHAR, BIGINT)], {"a": 1}) == [1]
+    assert call("map_concat", [MAP(VARCHAR, BIGINT)] * 2, {"a": 1}, {"b": 2}) == {"a": 1, "b": 2}
+    assert call("map_filter", [MAP(VARCHAR, BIGINT), UNKNOWN], {"a": 1, "b": 2}, lambda k, v: v > 1) == {"b": 2}
+
+
+def test_dates():
+    # 2021-03-15 is day 18701 since epoch.
+    day = call("to_date_int", [BIGINT] * 3, 2021, 3, 15)
+    assert call("year", [DATE], day) == 2021
+    assert call("month", [DATE], day) == 3
+    assert call("day", [DATE], day) == 15
+    assert call("date", [VARCHAR], "2021-03-15") == day
+    assert call("date_add", [VARCHAR, BIGINT, DATE], "day", 20, day) == day + 20
+    month_later = call("date_add", [VARCHAR, BIGINT, DATE], "month", 1, day)
+    assert call("month", [DATE], month_later) == 4
+    assert call("date_diff", [VARCHAR, DATE, DATE], "day", day, day + 30) == 30
+
+
+def test_date_edge_cases():
+    jan31 = call("to_date_int", [BIGINT] * 3, 2021, 1, 31)
+    feb = call("date_add", [VARCHAR, BIGINT, DATE], "month", 1, jan31)
+    assert call("day", [DATE], feb) == 28  # clamped
+    leap = call("to_date_int", [BIGINT] * 3, 2020, 2, 29)
+    assert call("day_of_year", [DATE], leap) == 60
+
+
+def test_timestamps():
+    ts = call("from_unixtime", [BIGINT], 3600 * 5 + 90)
+    assert call("hour", [TIMESTAMP], ts) == 5
+    assert call("minute", [TIMESTAMP], ts) == 1
+    truncated = call("date_trunc", [VARCHAR, TIMESTAMP], "hour", ts)
+    assert truncated == 3600 * 5 * 1000
+
+
+def test_cost_weights_present():
+    f, _ = FUNCTIONS.resolve_scalar("regexp_like", [VARCHAR, VARCHAR])
+    assert f.cost_weight > 1.0  # regexes are quanta hogs (paper IV-F1)

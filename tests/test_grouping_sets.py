@@ -1,0 +1,100 @@
+"""GROUPING SETS / ROLLUP / CUBE tests (expanded via union of
+aggregations, the standard rewrite)."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, SimCluster
+from repro.connectors.tpch import TpchConnector
+from tests.conftest import make_engine
+
+
+@pytest.fixture(scope="module")
+def eng():
+    return make_engine()
+
+
+def test_rollup_totals(eng):
+    rows = eng.execute(
+        "SELECT status, custkey, sum(totalprice) FROM orders "
+        "GROUP BY ROLLUP(status, custkey) ORDER BY 1, 2"
+    ).rows
+    # Grand total row present and consistent.
+    grand = [r for r in rows if r[0] is None and r[1] is None]
+    assert grand == [(None, None, 370.0)]
+    # Per-status subtotals sum to the grand total.
+    subtotals = [r[2] for r in rows if r[0] is not None and r[1] is None]
+    assert sum(subtotals) == 370.0
+    # Leaf rows: one per (status, custkey) pair.
+    leaves = [r for r in rows if r[0] is not None and r[1] is not None]
+    assert len(leaves) == 4
+
+
+def test_rollup_row_count_structure(eng):
+    rows = eng.execute(
+        "SELECT status, custkey, count(*) FROM orders GROUP BY ROLLUP(status, custkey)"
+    ).rows
+    # leaves(4) + per-status(2) + grand(1)
+    assert len(rows) == 7
+
+
+def test_cube_includes_all_combinations(eng):
+    rows = eng.execute(
+        "SELECT status, custkey, count(*) FROM orders GROUP BY CUBE(status, custkey)"
+    ).rows
+    shapes = {(r[0] is None, r[1] is None) for r in rows}
+    assert shapes == {(False, False), (False, True), (True, False), (True, True)}
+
+
+def test_grouping_sets_explicit(eng):
+    rows = eng.execute(
+        "SELECT status, custkey, count(*) FROM orders "
+        "GROUP BY GROUPING SETS ((status), (custkey), ()) ORDER BY 1, 2"
+    ).rows
+    assert (None, None, 5) in rows
+    assert ("F", None, 2) in rows
+    assert (None, 10, 2) in rows
+    assert len(rows) == 2 + 3 + 1
+
+
+def test_grouping_sets_equal_plain_group_by(eng):
+    plain = eng.execute(
+        "SELECT status, count(*) FROM orders GROUP BY status ORDER BY 1"
+    ).rows
+    single_set = eng.execute(
+        "SELECT status, count(*) FROM orders GROUP BY GROUPING SETS ((status)) ORDER BY 1"
+    ).rows
+    assert plain == single_set
+
+
+def test_rollup_with_having(eng):
+    rows = eng.execute(
+        "SELECT status, custkey, sum(totalprice) t FROM orders "
+        "GROUP BY ROLLUP(status, custkey) HAVING sum(totalprice) > 100 ORDER BY 3"
+    ).rows
+    assert all(r[2] > 100 for r in rows)
+    assert (None, None, 370.0) in rows
+
+
+def test_rollup_with_multiple_aggregates(eng):
+    rows = eng.execute(
+        "SELECT status, count(*), sum(totalprice), max(totalprice) FROM orders "
+        "GROUP BY ROLLUP(status) ORDER BY 1"
+    ).rows
+    assert rows == [
+        ("F", 2, 70.0, 50.0),
+        ("OK", 3, 300.0, 125.0),
+        (None, 5, 370.0, 125.0),
+    ]
+
+
+def test_rollup_distributed():
+    cluster = SimCluster(
+        ClusterConfig(worker_count=3, default_catalog="tpch", default_schema="tiny")
+    )
+    cluster.register_catalog("tpch", TpchConnector(scale_factor=0.001))
+    rows = cluster.run_query(
+        "SELECT orderstatus, count(*) FROM orders GROUP BY ROLLUP(orderstatus) ORDER BY 1"
+    ).rows()
+    leaf_total = sum(r[1] for r in rows if r[0] is not None)
+    grand = [r[1] for r in rows if r[0] is None]
+    assert grand == [leaf_total] == [1500]

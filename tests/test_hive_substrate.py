@@ -1,0 +1,117 @@
+"""Unit tests for the Hive substrate: simulated DFS and metastore."""
+
+import pytest
+
+from repro.catalog import Column
+from repro.connectors.hive.dfs import SimulatedDfs
+from repro.connectors.hive.metastore import HivePartition, HiveTable, Metastore
+from repro.errors import ConnectorError, SchemaNotFoundError, TableNotFoundError
+from repro.types import BIGINT, VARCHAR
+
+
+# ---------------------------------------------------------------------------
+# DFS
+# ---------------------------------------------------------------------------
+
+
+def test_dfs_write_read_roundtrip():
+    dfs = SimulatedDfs()
+    dfs.write("/a/b/file1", payload={"x": 1}, size_bytes=100)
+    file = dfs.read("/a/b/file1")
+    assert file.payload == {"x": 1}
+    assert file.size_bytes == 100
+    assert dfs.reads == 1
+    assert dfs.bytes_read == 100
+
+
+def test_dfs_missing_file():
+    dfs = SimulatedDfs()
+    with pytest.raises(ConnectorError):
+        dfs.read("/missing")
+
+
+def test_dfs_stat_does_not_count_reads():
+    dfs = SimulatedDfs()
+    dfs.write("/f", payload=None, size_bytes=10)
+    assert dfs.stat("/f") is not None
+    assert dfs.stat("/nope") is None
+    assert dfs.reads == 0
+
+
+def test_dfs_replica_assignment_round_robin():
+    dfs = SimulatedDfs(replica_hosts=["h1", "h2", "h3"], replication=2)
+    f1 = dfs.write("/f1", None, 1)
+    f2 = dfs.write("/f2", None, 1)
+    assert len(f1.replica_hosts) == 2
+    assert f1.replica_hosts != f2.replica_hosts  # rotation
+
+
+def test_dfs_listing_and_totals():
+    dfs = SimulatedDfs()
+    dfs.write("/wh/t1/a", None, 10)
+    dfs.write("/wh/t1/b", None, 20)
+    dfs.write("/wh/t2/a", None, 40)
+    assert len(dfs.list_files("/wh/t1")) == 2
+    assert dfs.total_bytes("/wh/t1") == 30
+    assert dfs.total_bytes() == 70
+    dfs.delete("/wh/t1/a")
+    assert dfs.total_bytes("/wh/t1") == 20
+
+
+# ---------------------------------------------------------------------------
+# Metastore
+# ---------------------------------------------------------------------------
+
+
+def make_table(schema="default", name="t", partition_columns=None):
+    return HiveTable(
+        schema=schema,
+        name=name,
+        columns=[Column("a", BIGINT), Column("day", VARCHAR)],
+        partition_columns=partition_columns or [],
+    )
+
+
+def test_metastore_schema_and_table_crud():
+    ms = Metastore()
+    ms.create_schema("analytics")
+    assert "analytics" in ms.list_schemas()
+    ms.create_table(make_table("analytics", "events"))
+    assert ms.list_tables("analytics") == ["events"]
+    assert ms.get_table("analytics", "events") is not None
+    ms.drop_table("analytics", "events")
+    assert ms.get_table("analytics", "events") is None
+
+
+def test_metastore_missing_schema():
+    ms = Metastore()
+    with pytest.raises(SchemaNotFoundError):
+        ms.list_tables("nope")
+
+
+def test_metastore_missing_table():
+    ms = Metastore()
+    with pytest.raises(TableNotFoundError):
+        ms.require_table("default", "missing")
+
+
+def test_partition_management_and_listing_counters():
+    ms = Metastore()
+    ms.create_table(make_table(partition_columns=["day"]))
+    ms.add_partition(
+        "default", "t", HivePartition(("2020-01-01",), "/wh/t/d1", ["/wh/t/d1/f0"])
+    )
+    ms.add_partition(
+        "default", "t", HivePartition(("2020-01-02",), "/wh/t/d2", ["/wh/t/d2/f0"])
+    )
+    partitions = ms.list_partitions("default", "t")
+    assert len(partitions) == 2
+    assert ms.partition_listings == 1
+    files = ms.list_partition_files(partitions[0])
+    assert files == ["/wh/t/d1/f0"]
+    assert ms.file_listings == 1
+
+
+def test_data_columns_exclude_partition_columns():
+    table = make_table(partition_columns=["day"])
+    assert [c.name for c in table.data_columns] == ["a"]

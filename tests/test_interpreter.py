@@ -1,0 +1,141 @@
+"""Interpreter semantics: casts, LIKE translation, arithmetic edge cases."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DivisionByZeroError, InvalidCastError
+from repro.exec.interpreter import apply_arithmetic, cast_value, like_to_regex
+from repro.types import ARRAY, BIGINT, BOOLEAN, DATE, DOUBLE, MAP, VARCHAR
+
+
+# ---------------------------------------------------------------------------
+# CAST
+# ---------------------------------------------------------------------------
+
+
+def test_cast_string_to_numbers():
+    assert cast_value("42", BIGINT) == 42
+    assert cast_value(" 42 ", BIGINT) == 42
+    assert cast_value("2.5", DOUBLE) == 2.5
+
+
+def test_cast_double_to_bigint_rounds_half_away():
+    assert cast_value(2.5, BIGINT) == 3
+    assert cast_value(-2.5, BIGINT) == -3
+    assert cast_value(2.4, BIGINT) == 2
+
+
+def test_cast_nonfinite_to_bigint_errors():
+    with pytest.raises(InvalidCastError):
+        cast_value(math.nan, BIGINT)
+    with pytest.raises(InvalidCastError):
+        cast_value(math.inf, BIGINT)
+
+
+def test_cast_bool_conversions():
+    assert cast_value(True, BIGINT) == 1
+    assert cast_value(0, BOOLEAN) is False
+    assert cast_value("true", BOOLEAN) is True
+    assert cast_value("f", BOOLEAN) is False
+    with pytest.raises(InvalidCastError):
+        cast_value("maybe", BOOLEAN)
+
+
+def test_cast_to_varchar():
+    assert cast_value(42, VARCHAR) == "42"
+    assert cast_value(True, VARCHAR) == "true"
+
+
+def test_cast_failure_and_safe_mode():
+    with pytest.raises(InvalidCastError):
+        cast_value("abc", BIGINT)
+    assert cast_value("abc", BIGINT, safe=True) is None
+
+
+def test_cast_array_elementwise():
+    assert cast_value(["1", "2"], ARRAY(BIGINT)) == [1, 2]
+
+
+def test_cast_map_keys_and_values():
+    assert cast_value({"1": "2"}, MAP(BIGINT, BIGINT)) == {1: 2}
+
+
+def test_cast_string_to_date():
+    days = cast_value("1970-01-02", DATE)
+    assert days == 1
+
+
+def test_cast_null_passthrough():
+    assert cast_value(None, BIGINT) is None
+
+
+# ---------------------------------------------------------------------------
+# LIKE
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "pattern,value,expected",
+    [
+        ("abc", "abc", True),
+        ("abc", "abcd", False),
+        ("a%", "abc", True),
+        ("%c", "abc", True),
+        ("%b%", "abc", True),
+        ("a_c", "abc", True),
+        ("a_c", "abbc", False),
+        ("%", "", True),
+        ("a.c", "abc", False),  # regex metachars are literal
+        ("a.c", "a.c", True),
+        ("100!%", "100%", True),
+    ],
+)
+def test_like_patterns(pattern, value, expected):
+    escape = "!" if "!" in pattern else None
+    assert bool(like_to_regex(pattern, escape).match(value)) is expected
+
+
+def test_like_matches_newlines():
+    assert like_to_regex("a%b").match("a\nb")
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def test_integer_division_truncates():
+    assert apply_arithmetic("/", 7, 2, BIGINT) == 3
+    assert apply_arithmetic("/", -7, 2, BIGINT) == -3
+    assert apply_arithmetic("/", 7, -2, BIGINT) == -3
+
+
+def test_integer_division_by_zero():
+    with pytest.raises(DivisionByZeroError):
+        apply_arithmetic("/", 1, 0, BIGINT)
+    with pytest.raises(DivisionByZeroError):
+        apply_arithmetic("%", 1, 0, BIGINT)
+
+
+def test_double_division_by_zero_is_infinite():
+    assert apply_arithmetic("/", 1.0, 0.0, DOUBLE) == math.inf
+    assert apply_arithmetic("/", -1.0, 0.0, DOUBLE) == -math.inf
+    assert math.isnan(apply_arithmetic("/", 0.0, 0.0, DOUBLE))
+
+
+def test_modulus_sign_follows_dividend():
+    assert apply_arithmetic("%", -7, 3, BIGINT) == -1
+    assert apply_arithmetic("%", 7, -3, BIGINT) == 1
+
+
+@given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+def test_division_identity(a, b):
+    """(a / b) * b + (a % b) == a — SQL truncated division invariant."""
+    if b == 0:
+        return
+    q = apply_arithmetic("/", a, b, BIGINT)
+    r = apply_arithmetic("%", a, b, BIGINT)
+    assert q * b + r == a
+    assert abs(r) < abs(b)

@@ -1,0 +1,126 @@
+"""Memory pool / arbitration unit tests (paper Sec. IV-F2)."""
+
+import pytest
+
+from repro.errors import ExceededMemoryLimitError
+from repro.memory.pools import (
+    ClusterMemoryManager,
+    MemoryLimits,
+    MemoryPool,
+    QueryMemoryTracker,
+)
+
+
+def manager(nodes=2, general=1000, reserved=500, per_node=800, global_=5000, kill=False):
+    mgr = ClusterMemoryManager(
+        MemoryLimits(per_node, global_, general + reserved), kill
+    )
+    for i in range(nodes):
+        mgr.register_node(MemoryPool(f"n{i}", general, reserved))
+    return mgr
+
+
+def test_basic_reserve_and_free():
+    mgr = manager()
+    assert mgr.reserve("q1", "n0", 100) == "ok"
+    assert mgr.pools["n0"].general_used == 100
+    assert mgr.reserve("q1", "n0", -50) == "ok"
+    assert mgr.pools["n0"].general_used == 50
+    mgr.release_query("q1")
+    assert mgr.pools["n0"].general_used == 0
+
+
+def test_per_node_user_limit_kills():
+    mgr = manager(per_node=300)
+    mgr.reserve("q1", "n0", 200)
+    with pytest.raises(ExceededMemoryLimitError):
+        mgr.reserve("q1", "n0", 200)
+    assert "q1" in mgr.queries_killed_for_memory
+    assert mgr.pools["n0"].general_used == 0  # released on kill
+
+
+def test_global_user_limit_kills():
+    mgr = manager(per_node=800, global_=900)
+    mgr.reserve("q1", "n0", 500)
+    with pytest.raises(ExceededMemoryLimitError):
+        mgr.reserve("q1", "n1", 500)
+
+
+def test_system_memory_not_counted_against_user_limit():
+    mgr = manager(per_node=300)
+    assert mgr.reserve("q1", "n0", 100, system_delta=600) == "ok"
+    tracker = mgr.tracker("q1")
+    assert tracker.node_user_bytes("n0") == 100
+    assert tracker.node_total_bytes("n0") == 700
+
+
+def test_exhaustion_promotes_biggest_query():
+    mgr = manager(general=1000, reserved=2000, per_node=5000, global_=50_000)
+    mgr.reserve("big", "n0", 800)
+    mgr.reserve("small", "n0", 100)
+    # This request does not fit in general: "big" gets promoted.
+    outcome = mgr.reserve("small", "n0", 300)
+    assert outcome == "ok"
+    assert mgr.reserved_holder == "big"
+    assert mgr.tracker("big").promoted_to_reserved
+    assert mgr.pools["n0"].reserved_query == "big"
+    assert mgr.promotions == 1
+
+
+def test_promotion_moves_usage_on_all_nodes():
+    mgr = manager(general=1000, reserved=2000, per_node=5000, global_=50_000)
+    mgr.reserve("big", "n0", 900)
+    mgr.reserve("big", "n1", 400)
+    mgr.reserve("other", "n0", 50)
+    mgr.reserve("other", "n0", 400)  # exhausts n0 -> promote big
+    assert mgr.pools["n0"].reserved_used == 900
+    assert mgr.pools["n1"].reserved_used == 400
+    assert mgr.pools["n1"].general_used == 0
+
+
+def test_second_exhaustion_blocks_when_reserved_occupied():
+    mgr = manager(general=500, reserved=600, per_node=5000, global_=50_000)
+    mgr.reserve("a", "n0", 400)
+    assert mgr.reserve("b", "n0", 300) == "ok"  # promotes a
+    assert mgr.reserved_holder == "a"
+    # Reserved occupied; next exhaustion stalls the requester.
+    assert mgr.reserve("c", "n0", 400) == "blocked"
+
+
+def test_kill_on_reserved_conflict_policy():
+    mgr = manager(general=500, reserved=600, per_node=5000, global_=50_000, kill=True)
+    mgr.reserve("a", "n0", 400)
+    mgr.reserve("b", "n0", 300)
+    with pytest.raises(ExceededMemoryLimitError):
+        mgr.reserve("c", "n0", 400)
+    assert "c" in mgr.queries_killed_for_memory
+
+
+def test_release_clears_reserved_holder():
+    mgr = manager(general=500, reserved=600, per_node=5000, global_=50_000)
+    mgr.reserve("a", "n0", 400)
+    mgr.reserve("b", "n0", 300)
+    assert mgr.reserved_holder == "a"
+    mgr.release_query("a")
+    assert mgr.reserved_holder is None
+    assert mgr.pools["n0"].reserved_used == 0
+
+
+def test_promoted_query_never_refused():
+    """The reserved pool guarantees its occupant's progress."""
+    mgr = manager(general=500, reserved=100, per_node=50_000, global_=500_000)
+    mgr.reserve("a", "n0", 400)
+    mgr.reserve("b", "n0", 200)  # promotes a (400 > reserved capacity 100)
+    assert mgr.reserved_holder == "a"
+    # Even beyond nominal reserved capacity, 'a' keeps allocating.
+    assert mgr.reserve("a", "n0", 1_000) == "ok"
+
+
+def test_tracker_totals():
+    tracker = QueryMemoryTracker("q")
+    tracker.user_bytes_by_node["a"] = 100
+    tracker.user_bytes_by_node["b"] = 200
+    tracker.system_bytes_by_node["a"] = 50
+    assert tracker.total_user_bytes == 300
+    assert tracker.total_bytes == 350
+    assert tracker.node_total_bytes("a") == 150

@@ -1,0 +1,126 @@
+"""Page-processor tests: compressed-block fast paths (paper Sec. V-E)."""
+
+import numpy as np
+import pytest
+
+from repro.exec.blocks import (
+    DictionaryBlock,
+    LazyBlock,
+    ObjectBlock,
+    RunLengthBlock,
+    make_block,
+)
+from repro.exec.page import Page, page_from_rows
+from repro.exec.page_processor import PageProcessor, _DictionaryHeuristic
+from repro.functions import FUNCTIONS
+from repro.planner import expressions as ir
+from repro.planner.symbols import Symbol
+from repro.types import BIGINT, BOOLEAN, VARCHAR
+
+SYMBOLS = [Symbol("k", BIGINT), Symbol("s", VARCHAR)]
+K = ir.Variable(BIGINT, "k")
+S = ir.Variable(VARCHAR, "s")
+
+
+def upper_call(arg):
+    fn, _ = FUNCTIONS.resolve_scalar("upper", [VARCHAR])
+    return ir.Call(VARCHAR, "upper", fn, (arg,))
+
+
+def test_filter_and_project():
+    processor = PageProcessor(
+        SYMBOLS,
+        ir.SpecialForm(BOOLEAN, ir.COMPARISON, (K, ir.Constant(BIGINT, 2)), ">="),
+        [K, upper_call(S)],
+    )
+    page = page_from_rows([BIGINT, VARCHAR], [(1, "a"), (2, "b"), (3, "c")])
+    out = processor.process(page)
+    assert list(out.rows()) == [(2, "B"), (3, "C")]
+
+
+def test_no_matches_returns_none():
+    processor = PageProcessor(
+        SYMBOLS,
+        ir.SpecialForm(BOOLEAN, ir.COMPARISON, (K, ir.Constant(BIGINT, 100)), ">"),
+        [K],
+    )
+    page = page_from_rows([BIGINT, VARCHAR], [(1, "a")])
+    assert processor.process(page) is None
+
+
+def test_dictionary_block_processed_via_dictionary():
+    dictionary = make_block(VARCHAR, ["x", "y"])
+    block = DictionaryBlock(dictionary, np.array([0, 1, 0, 0]))
+    page = Page([make_block(BIGINT, [1, 2, 3, 4]), block])
+    processor = PageProcessor(SYMBOLS, None, [upper_call(S)])
+    out = processor.process(page)
+    result_block = out.block(0)
+    assert isinstance(result_block, DictionaryBlock)
+    assert result_block.to_values() == ["X", "Y", "X", "X"]
+    # The processed dictionary has exactly the dictionary's size.
+    assert len(result_block.dictionary) == 2
+
+
+def test_shared_dictionary_result_cached():
+    dictionary = make_block(VARCHAR, ["x", "y"])
+    page1 = Page([make_block(BIGINT, [1, 2]), DictionaryBlock(dictionary, np.array([0, 1]))])
+    page2 = Page([make_block(BIGINT, [3, 4]), DictionaryBlock(dictionary, np.array([1, 1]))])
+    processor = PageProcessor(SYMBOLS, None, [upper_call(S)])
+    out1 = processor.process(page1)
+    out2 = processor.process(page2)
+    # Same processed dictionary object reused across pages (Sec. V-E:
+    # "when successive blocks share the same dictionary, the page
+    # processor retains the array").
+    assert out1.block(0).dictionary is out2.block(0).dictionary
+
+
+def test_rle_block_constant_projection():
+    page = Page([make_block(BIGINT, [1, 2]), RunLengthBlock("q", 2)])
+    processor = PageProcessor(SYMBOLS, None, [upper_call(S)])
+    out = processor.process(page)
+    assert isinstance(out.block(0), RunLengthBlock)
+    assert out.block(0).to_values() == ["Q", "Q"]
+
+
+def test_constant_projection_emits_rle():
+    processor = PageProcessor(SYMBOLS, None, [ir.Constant(BIGINT, 7), K])
+    page = page_from_rows([BIGINT, VARCHAR], [(1, "a"), (2, "b")])
+    out = processor.process(page)
+    assert isinstance(out.block(0), RunLengthBlock)
+    assert out.block(0).to_values() == [7, 7]
+
+
+def test_filter_does_not_load_unreferenced_lazy_columns():
+    loads = []
+    lazy = LazyBlock(3, lambda: make_block(VARCHAR, ["a", "b", "c"]), on_load=lambda b: loads.append(1))
+    page = Page([make_block(BIGINT, [1, 2, 3]), lazy])
+    # Filter and projection reference only channel 0.
+    processor = PageProcessor(
+        SYMBOLS,
+        ir.SpecialForm(BOOLEAN, ir.COMPARISON, (K, ir.Constant(BIGINT, 10)), ">"),
+        [K],
+    )
+    assert processor.process(page) is None
+    assert loads == []  # the varchar column was never decoded (Sec. V-D)
+
+
+def test_multi_column_projection_takes_general_path():
+    fn, _ = FUNCTIONS.resolve_scalar("concat", [VARCHAR, VARCHAR])
+    cast_k = ir.SpecialForm(VARCHAR, ir.CAST, (K,), VARCHAR)
+    expr = ir.Call(VARCHAR, "concat", fn, (S, cast_k))
+    processor = PageProcessor(SYMBOLS, None, [expr])
+    page = page_from_rows([BIGINT, VARCHAR], [(1, "a")])
+    assert list(processor.process(page).rows()) == [("a1",)]
+
+
+def test_heuristic_tracks_effectiveness():
+    heuristic = _DictionaryHeuristic()
+    # More rows than dictionary entries: always process the dictionary.
+    assert heuristic.should_process_dictionary(dictionary_size=10, rows=100)
+    heuristic.record(10, 100)
+    # History favourable -> keep speculating even when rows < dict size.
+    assert heuristic.should_process_dictionary(dictionary_size=100, rows=10)
+    # Flood with wasted dictionary work: speculation stops.
+    for _ in range(50):
+        heuristic.record(1000, 1)
+    assert not heuristic.should_process_dictionary(dictionary_size=1000, rows=10)

@@ -1,0 +1,241 @@
+"""Parser tests covering the SQL dialect surface."""
+
+import pytest
+
+from repro.errors import SyntaxError_
+from repro.sql import ast, parse_expression, parse_statement
+
+
+def body(sql) -> ast.QuerySpecification:
+    query = parse_statement(sql)
+    assert isinstance(query, ast.Query)
+    assert isinstance(query.body, ast.QuerySpecification)
+    return query.body
+
+
+def test_simple_select():
+    spec = body("SELECT a, b FROM t")
+    assert len(spec.select.items) == 2
+    assert isinstance(spec.from_, ast.Table)
+    assert spec.from_.name.parts == ("t",)
+
+
+def test_select_star_and_qualified_star():
+    spec = body("SELECT *, t.* FROM t")
+    assert isinstance(spec.select.items[0], ast.AllColumns)
+    assert spec.select.items[1].prefix.parts == ("t",)
+
+
+def test_aliases():
+    spec = body("SELECT a AS x, b y FROM t")
+    assert spec.select.items[0].alias == "x"
+    assert spec.select.items[1].alias == "y"
+
+
+def test_where_group_having_order_limit():
+    spec = body(
+        "SELECT a, count(*) FROM t WHERE a > 1 GROUP BY a HAVING count(*) > 2 "
+        "ORDER BY a DESC NULLS FIRST LIMIT 7"
+    )
+    assert spec.where is not None
+    assert spec.group_by is not None
+    assert spec.having is not None
+    assert spec.order_by[0].ascending is False
+    assert spec.order_by[0].nulls_first is True
+    assert spec.limit == 7
+
+
+def test_join_variants():
+    spec = body("SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c USING (y)")
+    outer = spec.from_
+    assert isinstance(outer, ast.Join)
+    assert outer.join_type is ast.JoinType.LEFT
+    assert isinstance(outer.criteria, ast.JoinUsing)
+    inner = outer.left
+    assert inner.join_type is ast.JoinType.INNER
+    assert isinstance(inner.criteria, ast.JoinOn)
+
+
+def test_cross_join_and_implicit():
+    spec = body("SELECT 1 FROM a CROSS JOIN b")
+    assert spec.from_.join_type is ast.JoinType.CROSS
+    spec = body("SELECT 1 FROM a, b")
+    assert spec.from_.join_type is ast.JoinType.IMPLICIT
+
+
+def test_subquery_relation():
+    spec = body("SELECT 1 FROM (SELECT 2) t")
+    assert isinstance(spec.from_, ast.AliasedRelation)
+    assert isinstance(spec.from_.relation, ast.SubqueryRelation)
+
+
+def test_values():
+    query = parse_statement("VALUES (1, 'a'), (2, 'b')")
+    assert isinstance(query.body, ast.ValuesBody)
+    assert len(query.body.rows) == 2
+
+
+def test_with_cte():
+    query = parse_statement("WITH t(a) AS (SELECT 1) SELECT a FROM t")
+    assert query.with_ is not None
+    assert query.with_.queries[0].name == "t"
+    assert query.with_.queries[0].column_names == ("a",)
+
+
+def test_set_operations():
+    query = parse_statement("SELECT 1 UNION ALL SELECT 2 INTERSECT SELECT 3")
+    assert isinstance(query.body, ast.SetOperation)
+
+
+def test_union_order_limit():
+    query = parse_statement("SELECT 1 x UNION SELECT 2 ORDER BY x LIMIT 1")
+    assert isinstance(query.body, ast.SetOperation)
+    assert query.order_by
+    assert query.limit == 1
+
+
+def test_operator_precedence():
+    expr = parse_expression("1 + 2 * 3")
+    assert isinstance(expr, ast.ArithmeticBinary)
+    assert expr.op is ast.ArithmeticOp.ADD
+    assert isinstance(expr.right, ast.ArithmeticBinary)
+    assert expr.right.op is ast.ArithmeticOp.MULTIPLY
+
+
+def test_and_or_precedence():
+    expr = parse_expression("a OR b AND c")
+    assert isinstance(expr, ast.Logical)
+    assert expr.op is ast.LogicalOp.OR
+    assert isinstance(expr.terms[1], ast.Logical)
+
+
+def test_logical_flattening():
+    expr = parse_expression("a AND b AND c")
+    assert isinstance(expr, ast.Logical)
+    assert len(expr.terms) == 3
+
+
+def test_comparison_chain_predicates():
+    expr = parse_expression("x BETWEEN 1 AND 2 AND y IS NOT NULL")
+    assert isinstance(expr, ast.Logical)
+    assert isinstance(expr.terms[0], ast.Between)
+    assert isinstance(expr.terms[1], ast.IsNotNull)
+
+
+def test_not_in_and_not_like():
+    expr = parse_expression("x NOT IN (1, 2)")
+    assert isinstance(expr, ast.Not)
+    assert isinstance(expr.value, ast.InList)
+    expr = parse_expression("x NOT LIKE 'a%'")
+    assert isinstance(expr, ast.Not)
+    assert isinstance(expr.value, ast.Like)
+
+
+def test_in_subquery_and_exists():
+    expr = parse_expression("x IN (SELECT y FROM t)")
+    assert isinstance(expr, ast.InSubquery)
+    expr = parse_expression("EXISTS (SELECT 1)")
+    assert isinstance(expr, ast.Exists)
+
+
+def test_case_forms():
+    searched = parse_expression("CASE WHEN a THEN 1 ELSE 2 END")
+    assert isinstance(searched, ast.SearchedCase)
+    simple = parse_expression("CASE x WHEN 1 THEN 'a' END")
+    assert isinstance(simple, ast.SimpleCase)
+
+
+def test_cast_and_try_cast():
+    expr = parse_expression("CAST(x AS bigint)")
+    assert isinstance(expr, ast.Cast)
+    assert expr.safe is False
+    expr = parse_expression("TRY_CAST(x AS array(bigint))")
+    assert expr.safe is True
+    assert expr.target_type == "array(bigint)"
+
+
+def test_lambda_single_and_multi():
+    single = parse_expression("transform(a, x -> x + 1)")
+    assert isinstance(single.arguments[1], ast.Lambda)
+    multi = parse_expression("reduce(a, 0, (s, x) -> s + x, s -> s)")
+    assert multi.arguments[2].parameters == ("s", "x")
+
+
+def test_array_and_subscript():
+    expr = parse_expression("ARRAY[1, 2][1]")
+    assert isinstance(expr, ast.Subscript)
+    assert isinstance(expr.base, ast.ArrayConstructor)
+
+
+def test_window_function():
+    expr = parse_expression(
+        "rank() OVER (PARTITION BY a ORDER BY b DESC ROWS BETWEEN 1 PRECEDING AND CURRENT ROW)"
+    )
+    assert isinstance(expr, ast.FunctionCall)
+    assert expr.window is not None
+    assert expr.window.frame.frame_type == "ROWS"
+
+
+def test_aggregate_modifiers():
+    expr = parse_expression("count(DISTINCT x) FILTER (WHERE y > 0)")
+    assert expr.distinct is True
+    assert expr.filter is not None
+
+
+def test_count_star():
+    expr = parse_expression("count(*)")
+    assert expr.arguments == ()
+
+
+def test_interval():
+    expr = parse_expression("INTERVAL '3' DAY")
+    assert isinstance(expr, ast.IntervalLiteral)
+    assert expr.unit == "day"
+
+
+def test_insert_and_ctas_and_drop():
+    insert = parse_statement("INSERT INTO t (a, b) SELECT 1, 2")
+    assert isinstance(insert, ast.Insert)
+    assert insert.columns == ("a", "b")
+    ctas = parse_statement("CREATE TABLE t AS SELECT 1 a")
+    assert isinstance(ctas, ast.CreateTableAsSelect)
+    drop = parse_statement("DROP TABLE IF EXISTS t")
+    assert isinstance(drop, ast.DropTable)
+    assert drop.if_exists
+
+
+def test_explain():
+    stmt = parse_statement("EXPLAIN SELECT 1")
+    assert isinstance(stmt, ast.Explain)
+    stmt = parse_statement("EXPLAIN (TYPE DISTRIBUTED) SELECT 1")
+    assert stmt.explain_type == "DISTRIBUTED"
+
+
+def test_unnest():
+    spec = body("SELECT * FROM t CROSS JOIN UNNEST(t.arr) WITH ORDINALITY AS u(x, i)")
+    join = spec.from_
+    assert isinstance(join.right, ast.AliasedRelation)
+    assert isinstance(join.right.relation, ast.Unnest)
+    assert join.right.relation.with_ordinality
+
+
+def test_syntax_errors():
+    for bad in ["SELECT", "SELECT 1 FROM", "SELECT 1 WHERE", "SELEC 1", "SELECT 1)"]:
+        with pytest.raises(SyntaxError_):
+            parse_statement(bad)
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SyntaxError_):
+        parse_statement("SELECT 1 garbage garbage")
+
+
+def test_quoted_identifier_preserves_case():
+    spec = body('SELECT "MiXeD" FROM t')
+    assert spec.select.items[0].expression.name == "MiXeD"
+
+
+def test_double_negation_literal_folding():
+    expr = parse_expression("-5")
+    assert isinstance(expr, ast.LongLiteral)
+    assert expr.value == -5

@@ -1,0 +1,187 @@
+"""Logical-planner plan-shape tests (paper Sec. IV-B3)."""
+
+import pytest
+
+from repro.catalog.metadata import Metadata
+from repro.connectors.memory import MemoryConnector
+from repro.errors import SemanticError, TableNotFoundError
+from repro.planner import nodes as plan
+from repro.planner.planner import LogicalPlanner, SessionContext
+from repro.sql import parse_statement
+from repro.types import BIGINT, DOUBLE, VARCHAR
+
+
+def metadata():
+    memory = MemoryConnector()
+    memory.create_table_with_data(
+        "memory", "default", "t",
+        [("a", BIGINT), ("b", DOUBLE), ("s", VARCHAR)],
+        [(1, 1.0, "x")],
+    )
+    memory.create_table_with_data(
+        "memory", "default", "u",
+        [("a", BIGINT), ("w", DOUBLE)],
+        [(1, 2.0)],
+    )
+    md = Metadata()
+    md.register_catalog("memory", memory)
+    return md
+
+
+def planned(sql):
+    md = metadata()
+    planner = LogicalPlanner(md, SessionContext("memory", "default"))
+    return planner.plan_statement(parse_statement(sql))
+
+
+def find(root, node_type):
+    return [n for n in plan.walk_plan(root) if isinstance(n, node_type)]
+
+
+def test_output_node_names_and_types():
+    p = planned("SELECT a, b AS bee, a + 1 FROM t")
+    assert p.column_names == ["a", "bee", "_col2"]
+    assert p.column_types[0] is BIGINT
+    assert p.column_types[1] is DOUBLE
+    assert isinstance(p.root, plan.OutputNode)
+
+
+def test_where_becomes_filter_above_scan():
+    p = planned("SELECT a FROM t WHERE b > 1")
+    filters = find(p.root, plan.FilterNode)
+    assert len(filters) == 1
+    assert isinstance(filters[0].source, plan.TableScanNode)
+
+
+def test_group_by_builds_preprojection_and_aggregation():
+    p = planned("SELECT a + 1 AS g, sum(b) FROM t GROUP BY a + 1")
+    agg = find(p.root, plan.AggregationNode)[0]
+    assert len(agg.group_by) == 1
+    assert isinstance(agg.source, plan.ProjectNode)
+    # The grouping expression was computed below the aggregation.
+    assert any(
+        not str(e).isidentifier() for e in agg.source.assignments.values()
+    )
+
+
+def test_having_is_filter_above_aggregation():
+    p = planned("SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 1")
+    filters = find(p.root, plan.FilterNode)
+    assert any(isinstance(f.source, plan.AggregationNode) for f in filters)
+
+
+def test_duplicate_aggregates_computed_once():
+    p = planned("SELECT sum(b), sum(b) + 1 FROM t")
+    agg = find(p.root, plan.AggregationNode)[0]
+    assert len(agg.aggregations) == 1
+
+
+def test_window_node_structure():
+    p = planned("SELECT a, rank() OVER (PARTITION BY s ORDER BY b DESC) FROM t")
+    window = find(p.root, plan.WindowNode)[0]
+    assert [w.function_name for w in window.functions.values()] == ["rank"]
+    assert len(window.partition_by) == 1
+    assert window.order_by[0].ascending is False
+
+
+def test_same_window_spec_shares_node():
+    p = planned(
+        "SELECT rank() OVER (ORDER BY b), row_number() OVER (ORDER BY b) FROM t"
+    )
+    windows = find(p.root, plan.WindowNode)
+    assert len(windows) == 1
+    assert len(windows[0].functions) == 2
+
+
+def test_different_window_specs_get_separate_nodes():
+    p = planned(
+        "SELECT rank() OVER (ORDER BY b), rank() OVER (ORDER BY a) FROM t"
+    )
+    assert len(find(p.root, plan.WindowNode)) == 2
+
+
+def test_uncorrelated_in_becomes_semijoin():
+    p = planned("SELECT a FROM t WHERE a IN (SELECT a FROM u)")
+    assert find(p.root, plan.SemiJoinNode)
+
+
+def test_scalar_subquery_enforces_single_row():
+    p = planned("SELECT a, (SELECT max(w) FROM u) FROM t")
+    assert find(p.root, plan.EnforceSingleRowNode)
+
+
+def test_join_using_hides_right_copy():
+    p = planned("SELECT a FROM t JOIN u USING (a)")
+    # Resolving unqualified `a` must not be ambiguous (checked by planning
+    # succeeding) and produce one output column.
+    assert p.column_names == ["a"]
+
+
+def test_implicit_cross_join_from_comma():
+    p = planned("SELECT t.a FROM t, u WHERE t.a = u.a")
+    joins = find(p.root, plan.JoinNode)
+    assert joins  # comma join planned as cross join (+ filter)
+
+
+def test_union_all_mapping_covers_all_sources():
+    p = planned("SELECT a FROM t UNION ALL SELECT a FROM u")
+    union = find(p.root, plan.UnionNode)[0]
+    assert len(union.sources_) == 2
+    for mapping in union.symbol_mapping:
+        assert set(mapping) == set(union.outputs)
+
+
+def test_cte_expanded_inline():
+    p = planned("WITH c AS (SELECT a FROM t) SELECT * FROM c JOIN c c2 ON c.a = c2.a")
+    # Two scans: the CTE is planned per reference (inlined).
+    assert len(find(p.root, plan.TableScanNode)) == 2
+
+
+def test_values_relation():
+    p = planned("SELECT x FROM (VALUES 1, 2) v(x)")
+    values = find(p.root, plan.ValuesNode)[0]
+    assert len(values.rows) == 2
+
+
+def test_unnest_node_built():
+    p = planned("SELECT v FROM UNNEST(ARRAY[1,2,3]) AS x(v)")
+    assert find(p.root, plan.UnnestNode)
+
+
+def test_insert_plan_has_writer_and_finish():
+    md = metadata()
+    planner = LogicalPlanner(md, SessionContext("memory", "default"))
+    p = planner.plan_statement(parse_statement("INSERT INTO t SELECT a, b, s FROM t"))
+    assert find(p.root, plan.TableWriterNode)
+    assert find(p.root, plan.TableFinishNode)
+    assert p.column_names == ["rows"]
+
+
+def test_insert_column_count_mismatch():
+    md = metadata()
+    planner = LogicalPlanner(md, SessionContext("memory", "default"))
+    with pytest.raises(SemanticError):
+        planner.plan_statement(parse_statement("INSERT INTO t SELECT 1"))
+
+
+def test_unknown_table_reported():
+    with pytest.raises(TableNotFoundError):
+        planned("SELECT * FROM missing")
+
+
+def test_group_by_ordinal_out_of_range():
+    with pytest.raises(SemanticError):
+        planned("SELECT a FROM t GROUP BY 5")
+
+
+def test_order_by_ordinal_out_of_range():
+    with pytest.raises(SemanticError):
+        planned("SELECT a FROM t ORDER BY 3")
+
+
+def test_select_star_excludes_hidden_columns():
+    md = metadata()
+    # Memory connector has no hidden columns; assert * expands the three.
+    planner = LogicalPlanner(md, SessionContext("memory", "default"))
+    p = planner.plan_statement(parse_statement("SELECT * FROM t"))
+    assert p.column_names == ["a", "b", "s"]

@@ -1,0 +1,116 @@
+"""TupleDomain / Domain / Range tests (connector constraint language)."""
+
+from hypothesis import given, strategies as st
+
+from repro.connectors.predicate import Domain, Range, TupleDomain
+
+
+def test_range_contains():
+    r = Range(1, 10, True, False)
+    assert r.contains_value(1)
+    assert r.contains_value(9)
+    assert not r.contains_value(10)
+    assert not r.contains_value(0)
+    assert not r.contains_value(None)
+
+
+def test_range_unbounded():
+    assert Range.greater_than(5).contains_value(6)
+    assert not Range.greater_than(5).contains_value(5)
+    assert Range.greater_than(5, inclusive=True).contains_value(5)
+    assert Range.less_than(5).contains_value(-100)
+
+
+def test_range_overlap_and_intersect():
+    a = Range(1, 10)
+    b = Range(5, 20)
+    assert a.overlaps(b)
+    merged = a.intersect(b)
+    assert (merged.low, merged.high) == (5, 10)
+    assert a.intersect(Range(11, 12)) is None
+
+
+def test_range_touching_exclusive_bounds():
+    a = Range(1, 5, True, False)
+    b = Range(5, 9, True, True)
+    assert not a.overlaps(b)
+    b_inclusive = Range(5, 9, True, True)
+    a_inclusive = Range(1, 5, True, True)
+    assert a_inclusive.overlaps(b_inclusive)
+
+
+def test_domain_single_and_multiple():
+    d = Domain.single_value(5)
+    assert d.contains_value(5)
+    assert not d.contains_value(6)
+    assert not d.contains_value(None)
+    m = Domain.multiple_values([3, 1, 2])
+    assert m.single_values() == [1, 2, 3]
+
+
+def test_domain_null_handling():
+    assert Domain.all().contains_value(None)
+    assert not Domain.not_null().contains_value(None)
+    assert Domain.only_null().contains_value(None)
+    assert not Domain.only_null().contains_value(1)
+
+
+def test_domain_intersect():
+    a = Domain.range(Range.greater_than(5))
+    b = Domain.range(Range.less_than(10))
+    merged = a.intersect(b)
+    assert merged.contains_value(7)
+    assert not merged.contains_value(5)
+    assert not merged.contains_value(10)
+
+
+def test_domain_none():
+    d = Domain.single_value(1).intersect(Domain.single_value(2))
+    assert d.is_none()
+
+
+def test_tuple_domain_row_pruning():
+    td = TupleDomain({"a": Domain.single_value(1), "b": Domain.range(Range.greater_than(5))})
+    assert td.contains_row({"a": 1, "b": 6})
+    assert not td.contains_row({"a": 2, "b": 6})
+    assert not td.contains_row({"a": 1, "b": 5})
+    # missing columns are unconstrained
+    assert td.contains_row({"a": 1})
+
+
+def test_tuple_domain_intersect_and_none():
+    a = TupleDomain({"x": Domain.single_value(1)})
+    b = TupleDomain({"x": Domain.single_value(2)})
+    assert a.intersect(b).is_none()
+    assert TupleDomain.all().intersect(a) == a
+    assert TupleDomain.none().intersect(a).is_none()
+
+
+def test_tuple_domain_filter_columns():
+    td = TupleDomain({"a": Domain.single_value(1), "b": Domain.single_value(2)})
+    filtered = td.filter_columns({"a"})
+    assert "b" not in filtered.domains
+    assert filtered.domain("a").contains_value(1)
+
+
+@given(
+    st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50),
+    st.integers(-60, 60),
+)
+def test_intersection_soundness(low_a, high_a, low_b, high_b, probe):
+    """x in (A ∩ B) <=> x in A and x in B."""
+    a = Range(min(low_a, high_a), max(low_a, high_a))
+    b = Range(min(low_b, high_b), max(low_b, high_b))
+    merged = a.intersect(b)
+    expected = a.contains_value(probe) and b.contains_value(probe)
+    actual = merged.contains_value(probe) if merged is not None else False
+    assert actual == expected
+
+
+@given(st.lists(st.integers(-20, 20), min_size=1, max_size=8), st.integers(-25, 25))
+def test_domain_union_contains_all_members(values, probe):
+    d = Domain.multiple_values(values)
+    u = d.union(Domain.single_value(probe))
+    assert u.contains_value(probe)
+    for v in values:
+        assert u.contains_value(v)

@@ -1,0 +1,180 @@
+"""Cross-cutting property-based tests on engine invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.client import LocalEngine
+from repro.connectors.hive.format import OrcReader, OrcWriter, ReadStats
+from repro.connectors.memory import MemoryConnector
+from repro.connectors.predicate import Domain, Range, TupleDomain
+from repro.types import BIGINT, DOUBLE, VARCHAR
+
+
+# ---------------------------------------------------------------------------
+# Stripe skipping is *sound*: skipping plus the engine filter returns
+# exactly the brute-force filtered rows (Sec. V-C).
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.one_of(st.none(), st.integers(-50, 50)), min_size=1, max_size=120
+    ),
+    low=st.integers(-60, 60),
+    width=st.integers(0, 40),
+    stripe_rows=st.integers(1, 16),
+)
+def test_stripe_skipping_sound(values, low, width, stripe_rows):
+    writer = OrcWriter([("k", BIGINT)], stripe_rows=stripe_rows, bloom_columns=("k",))
+    writer.add_rows([(v,) for v in values])
+    file = writer.finish()
+    domain = Domain.range(Range(low, low + width))
+    constraint = TupleDomain({"k": domain})
+    reader = OrcReader(file, ["k"], constraint, lazy=False, stats=ReadStats())
+    surviving = [
+        row[0]
+        for page in reader.pages()
+        for row in page.rows()
+        if domain.contains_value(row[0])
+    ]
+    expected = [v for v in values if v is not None and low <= v <= low + width]
+    assert sorted(surviving) == sorted(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 1000), min_size=1, max_size=100),
+    probe=st.integers(0, 1000),
+    stripe_rows=st.integers(1, 10),
+)
+def test_bloom_skipping_sound(values, probe, stripe_rows):
+    writer = OrcWriter([("k", BIGINT)], stripe_rows=stripe_rows, bloom_columns=("k",))
+    writer.add_rows([(v,) for v in values])
+    file = writer.finish()
+    constraint = TupleDomain({"k": Domain.single_value(probe)})
+    reader = OrcReader(file, ["k"], constraint, lazy=False)
+    surviving = [
+        row[0] for page in reader.pages() for row in page.rows() if row[0] == probe
+    ]
+    assert len(surviving) == values.count(probe)
+
+
+# ---------------------------------------------------------------------------
+# Relational invariants over random data, via full SQL.
+# ---------------------------------------------------------------------------
+
+
+def build_engine(t_rows, u_rows):
+    engine = LocalEngine()
+    connector = MemoryConnector()
+    engine.register_catalog("memory", connector)
+    connector.create_table_with_data(
+        "memory", "default", "t", [("k", BIGINT), ("v", BIGINT)], t_rows
+    )
+    connector.create_table_with_data(
+        "memory", "default", "u", [("k", BIGINT), ("w", BIGINT)], u_rows
+    )
+    return engine
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.one_of(st.none(), st.integers(0, 8)), st.integers(-100, 100)
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t_rows=rows_strategy, u_rows=rows_strategy)
+def test_left_join_preserves_left_rows(t_rows, u_rows):
+    engine = build_engine(t_rows, u_rows)
+    left_count = engine.execute("SELECT count(*) FROM t").scalar()
+    joined_distinct = engine.execute(
+        "SELECT count(*) FROM (SELECT DISTINCT t.k, t.v FROM t LEFT JOIN u ON t.k = u.k)"
+    ).scalar()
+    distinct_left = engine.execute("SELECT count(*) FROM (SELECT DISTINCT k, v FROM t)").scalar()
+    assert joined_distinct == distinct_left
+    # And the join never returns fewer rows than the left side.
+    total = engine.execute("SELECT count(*) FROM t LEFT JOIN u ON t.k = u.k").scalar()
+    assert total >= left_count
+
+
+@settings(max_examples=25, deadline=None)
+@given(t_rows=rows_strategy, u_rows=rows_strategy)
+def test_inner_join_count_matches_key_multiplication(t_rows, u_rows):
+    engine = build_engine(t_rows, u_rows)
+    joined = engine.execute("SELECT count(*) FROM t JOIN u ON t.k = u.k").scalar()
+    expected = 0
+    from collections import Counter
+
+    t_keys = Counter(k for k, _ in t_rows if k is not None)
+    u_keys = Counter(k for k, _ in u_rows if k is not None)
+    for key, count in t_keys.items():
+        expected += count * u_keys.get(key, 0)
+    assert joined == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(t_rows=rows_strategy)
+def test_group_by_sums_to_total(t_rows):
+    engine = build_engine(t_rows, [])
+    total = engine.execute("SELECT coalesce(sum(v), 0) FROM t").scalar()
+    grouped = engine.execute(
+        "SELECT coalesce(sum(s), 0) FROM (SELECT k, sum(v) s FROM t GROUP BY k)"
+    ).scalar()
+    assert grouped == total
+
+
+@settings(max_examples=25, deadline=None)
+@given(t_rows=rows_strategy)
+def test_union_all_counts_add(t_rows):
+    engine = build_engine(t_rows, [])
+    doubled = engine.execute(
+        "SELECT count(*) FROM (SELECT k FROM t UNION ALL SELECT k FROM t)"
+    ).scalar()
+    assert doubled == 2 * len(t_rows)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t_rows=rows_strategy)
+def test_order_by_is_sorted_and_complete(t_rows):
+    engine = build_engine(t_rows, [])
+    rows = engine.execute("SELECT v FROM t ORDER BY v").rows
+    values = [r[0] for r in rows]
+    assert values == sorted(values)
+    assert sorted(values) == sorted(v for _, v in t_rows)
+
+
+@settings(max_examples=25, deadline=None)
+@given(t_rows=rows_strategy, limit=st.integers(0, 50))
+def test_limit_bounds_output(t_rows, limit):
+    engine = build_engine(t_rows, [])
+    rows = engine.execute(f"SELECT * FROM t LIMIT {limit}").rows
+    assert len(rows) == min(limit, len(t_rows))
+
+
+@settings(max_examples=20, deadline=None)
+@given(t_rows=rows_strategy)
+def test_distinct_is_set_semantics(t_rows):
+    engine = build_engine(t_rows, [])
+    rows = engine.execute("SELECT DISTINCT k, v FROM t").rows
+    assert len(rows) == len(set(rows))
+    assert set(rows) == set(t_rows)
+
+
+@settings(max_examples=20, deadline=None)
+@given(t_rows=rows_strategy)
+def test_window_rank_bounded_by_partition_size(t_rows):
+    engine = build_engine(t_rows, [])
+    rows = engine.execute(
+        "SELECT k, rank() OVER (PARTITION BY k ORDER BY v) FROM t"
+    ).rows
+    from collections import Counter
+
+    sizes = Counter(k for k, _ in t_rows)
+    for key, rank in rows:
+        assert 1 <= rank <= sizes[key]

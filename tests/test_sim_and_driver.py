@@ -1,0 +1,134 @@
+"""Event-loop and driver-loop unit tests."""
+
+import pytest
+
+from repro.cluster.sim import Simulation
+from repro.exec.driver import Driver, DriverStatus, run_drivers_to_completion
+from repro.exec.operators.core import LimitOperator, OutputCollectorOperator, ValuesOperator
+from repro.exec.page import page_from_rows
+from repro.types import BIGINT
+
+
+# ---------------------------------------------------------------------------
+# Simulation core
+# ---------------------------------------------------------------------------
+
+
+def test_events_run_in_time_order():
+    sim = Simulation()
+    log = []
+    sim.schedule(5, lambda: log.append("b"))
+    sim.schedule(1, lambda: log.append("a"))
+    sim.schedule(10, lambda: log.append("c"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 10
+
+
+def test_ties_run_in_schedule_order():
+    sim = Simulation()
+    log = []
+    for i in range(5):
+        sim.schedule(1.0, lambda i=i: log.append(i))
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_nested_scheduling():
+    sim = Simulation()
+    log = []
+
+    def outer():
+        log.append(("outer", sim.now))
+        sim.schedule(2, lambda: log.append(("inner", sim.now)))
+
+    sim.schedule(1, outer)
+    sim.run()
+    assert log == [("outer", 1.0), ("inner", 3.0)]
+
+
+def test_run_until_horizon():
+    sim = Simulation()
+    log = []
+    sim.schedule(1, lambda: log.append(1))
+    sim.schedule(100, lambda: log.append(100))
+    sim.run(until_ms=50)
+    assert log == [1]
+    assert sim.now == 50
+    sim.run()
+    assert log == [1, 100]
+
+
+def test_stop_when_predicate():
+    sim = Simulation()
+    log = []
+    for i in range(10):
+        sim.schedule(i, lambda i=i: log.append(i))
+    sim.run(stop_when=lambda: len(log) >= 3)
+    assert len(log) == 3
+
+
+def test_negative_delay_clamped():
+    sim = Simulation()
+    sim.now = 10.0
+    fired = []
+    sim.schedule(-5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [10.0]
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def make_driver(rows, limit=None):
+    pages = [page_from_rows([BIGINT], [(i,) for i in rows])]
+    ops = [ValuesOperator(pages)]
+    if limit is not None:
+        ops.append(LimitOperator(limit))
+    collector = OutputCollectorOperator()
+    ops.append(collector)
+    return Driver(ops), collector
+
+
+def test_driver_runs_to_completion():
+    driver, collector = make_driver(range(10))
+    assert driver.process() is DriverStatus.FINISHED
+    assert sum(p.row_count for p in collector.pages) == 10
+
+
+def test_driver_finished_when_sink_finished():
+    driver, collector = make_driver(range(10), limit=3)
+    driver.process()
+    assert driver.is_finished()
+    assert sum(p.row_count for p in collector.pages) == 3
+
+
+def test_driver_close_finishes_upstream():
+    driver, _ = make_driver(range(10), limit=2)
+    driver.process()
+    driver.close()
+    assert all(op.is_finished() for op in driver.operators)
+
+
+def test_run_drivers_detects_deadlock():
+    from repro.errors import PrestoError
+    from repro.exec.operators.joins import JoinBridge, LookupJoinOperator
+    from repro.planner.nodes import JoinType
+
+    bridge = JoinBridge()  # never set: probe blocks forever
+    probe = LookupJoinOperator(bridge, [0], [0], [], JoinType.INNER)
+    driver = Driver([
+        ValuesOperator([page_from_rows([BIGINT], [(1,)])]),
+        probe,
+        OutputCollectorOperator(),
+    ])
+    with pytest.raises(PrestoError, match="deadlock"):
+        run_drivers_to_completion([driver])
+
+
+def test_driver_quantum_returns_running_midway():
+    driver, _ = make_driver(range(5))
+    status = driver.process(quantum_ms=0.0, max_iterations=1)
+    assert status in (DriverStatus.RUNNING, DriverStatus.FINISHED)

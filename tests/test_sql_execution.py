@@ -1,0 +1,563 @@
+"""End-to-end SQL execution tests (parse -> analyze -> plan -> optimize
+-> execute). Each test runs with the optimizer ON; a module-level check
+verifies optimized and unoptimized plans agree."""
+
+import pytest
+
+from repro.errors import (
+    ColumnNotFoundError,
+    DivisionByZeroError,
+    SemanticError,
+    TableNotFoundError,
+    UserError,
+)
+from tests.conftest import make_engine
+
+
+@pytest.fixture(scope="module")
+def eng():
+    return make_engine(optimize=True)
+
+
+def rows(eng, sql):
+    return eng.execute(sql).rows
+
+
+# ---- projections & expressions -------------------------------------------------
+
+
+def test_select_constant(eng):
+    assert rows(eng, "SELECT 1 + 2 * 3") == [(7,)]
+
+
+def test_arithmetic_and_precedence(eng):
+    assert rows(eng, "SELECT (2 + 3) * 4, 10 / 3, 10 % 3, -5") == [(20, 3, 1, -5)]
+
+
+def test_double_division(eng):
+    assert rows(eng, "SELECT 7.0 / 2") == [(3.5,)]
+
+
+def test_division_by_zero_error(eng):
+    with pytest.raises(DivisionByZeroError):
+        rows(eng, "SELECT orderkey / 0 FROM orders")
+
+
+def test_string_functions(eng):
+    assert rows(eng, "SELECT upper('abc') || lower('DEF')") == [("ABCdef",)]
+
+
+def test_case_expression(eng):
+    result = rows(
+        eng,
+        "SELECT orderkey, CASE WHEN totalprice >= 100 THEN 'big' "
+        "WHEN totalprice >= 50 THEN 'mid' ELSE 'small' END FROM orders ORDER BY 1",
+    )
+    assert result == [(1, "big"), (2, "mid"), (3, "mid"), (4, "small"), (5, "big")]
+
+
+def test_null_semantics(eng):
+    assert rows(eng, "SELECT NULL + 1, NULL = NULL, NULL IS NULL, coalesce(NULL, 7)") == [
+        (None, None, True, 7)
+    ]
+
+
+def test_cast_and_try_cast(eng):
+    assert rows(eng, "SELECT CAST('42' AS bigint), TRY_CAST('x' AS bigint)") == [(42, None)]
+
+
+# ---- filtering -------------------------------------------------------------------
+
+
+def test_where_with_and_or(eng):
+    result = rows(
+        eng, "SELECT orderkey FROM orders WHERE status = 'OK' AND totalprice > 80 ORDER BY 1"
+    )
+    assert result == [(1,), (5,)]
+
+
+def test_where_in_list(eng):
+    assert rows(eng, "SELECT count(*) FROM orders WHERE custkey IN (10, 30)") == [(3,)]
+
+
+def test_where_like(eng):
+    assert rows(eng, "SELECT count(*) FROM customer WHERE name LIKE '%a%'") == [(3,)]
+
+
+def test_where_between(eng):
+    assert rows(eng, "SELECT count(*) FROM orders WHERE totalprice BETWEEN 50 AND 100") == [(3,)]
+
+
+# ---- aggregation -------------------------------------------------------------------
+
+
+def test_global_aggregate(eng):
+    assert rows(eng, "SELECT count(*), sum(totalprice), min(totalprice), max(totalprice) FROM orders") == [
+        (5, 370.0, 20.0, 125.0)
+    ]
+
+
+def test_global_aggregate_empty_input(eng):
+    assert rows(eng, "SELECT count(*), sum(totalprice) FROM orders WHERE orderkey > 999") == [
+        (0, None)
+    ]
+
+
+def test_group_by(eng):
+    assert rows(
+        eng, "SELECT status, count(*) FROM orders GROUP BY status ORDER BY status"
+    ) == [("F", 2), ("OK", 3)]
+
+
+def test_group_by_expression(eng):
+    result = rows(
+        eng,
+        "SELECT custkey % 20, count(*) FROM orders GROUP BY custkey % 20 ORDER BY 1",
+    )
+    assert result == [(0, 2), (10, 3)]
+
+
+def test_group_by_ordinal_and_having(eng):
+    assert rows(
+        eng,
+        "SELECT status, sum(totalprice) FROM orders GROUP BY 1 HAVING sum(totalprice) > 100 ORDER BY 1",
+    ) == [("OK", 300.0)]
+
+
+def test_count_distinct(eng):
+    assert rows(eng, "SELECT count(DISTINCT custkey) FROM orders") == [(3,)]
+
+
+def test_aggregate_filter_clause(eng):
+    assert rows(
+        eng, "SELECT count(*) FILTER (WHERE status = 'OK') FROM orders"
+    ) == [(3,)]
+
+
+def test_aggregate_ignores_nulls(eng):
+    assert rows(
+        eng,
+        "SELECT count(x), sum(x) FROM (VALUES 1, NULL, 3) t(x)",
+    ) == [(2, 4)]
+
+
+# ---- joins ---------------------------------------------------------------------------
+
+
+def test_inner_join(eng):
+    assert rows(
+        eng,
+        "SELECT count(*) FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey",
+    ) == [(5,)]
+
+
+def test_left_join_preserves_unmatched(eng):
+    result = rows(
+        eng,
+        "SELECT o.orderkey, count(l.partkey) FROM orders o "
+        "LEFT JOIN lineitem l ON o.orderkey = l.orderkey GROUP BY 1 ORDER BY 1",
+    )
+    assert result == [(1, 2), (2, 1), (3, 1), (4, 0), (5, 1)]
+
+
+def test_right_join(eng):
+    result = rows(
+        eng,
+        "SELECT l.orderkey, o.orderkey FROM orders o "
+        "RIGHT JOIN lineitem l ON o.orderkey = l.orderkey ORDER BY 1",
+    )
+    assert (9, None) in result
+    assert len(result) == 6
+
+
+def test_full_join(eng):
+    assert rows(
+        eng,
+        "SELECT count(*) FROM orders o FULL JOIN lineitem l ON o.orderkey = l.orderkey",
+    ) == [(7,)]
+
+
+def test_cross_join(eng):
+    assert rows(eng, "SELECT count(*) FROM orders CROSS JOIN customer") == [(20,)]
+
+
+def test_join_using(eng):
+    assert rows(
+        eng,
+        "SELECT count(*) FROM orders JOIN customer USING (custkey)",
+    ) == [(5,)]
+
+
+def test_join_with_residual_condition(eng):
+    result = rows(
+        eng,
+        "SELECT o.orderkey FROM orders o JOIN lineitem l "
+        "ON o.orderkey = l.orderkey AND l.tax > 4 ORDER BY 1",
+    )
+    assert result == [(1,), (5,)]
+
+
+def test_three_way_join(eng):
+    result = rows(
+        eng,
+        "SELECT c.name, sum(l.tax) FROM customer c "
+        "JOIN orders o ON c.custkey = o.custkey "
+        "JOIN lineitem l ON o.orderkey = l.orderkey "
+        "GROUP BY c.name ORDER BY 1",
+    )
+    assert result == [("alice", 11.0), ("bob", 8.5)]
+
+
+def test_self_join(eng):
+    result = rows(
+        eng,
+        "SELECT count(*) FROM orders a JOIN orders b ON a.custkey = b.custkey",
+    )
+    assert result == [(9,)]  # 2 custkey groups of 2,1 -> 4+4+1
+
+
+def test_join_null_keys_never_match(eng):
+    result = rows(
+        eng,
+        "SELECT count(*) FROM (VALUES 1, NULL) a(x) JOIN (VALUES 1, NULL) b(y) ON a.x = b.y",
+    )
+    assert result == [(1,)]
+
+
+# ---- subqueries ---------------------------------------------------------------------------
+
+
+def test_in_subquery(eng):
+    result = rows(
+        eng,
+        "SELECT orderkey FROM orders WHERE custkey IN "
+        "(SELECT custkey FROM customer WHERE nation = 'US') ORDER BY 1",
+    )
+    assert result == [(1,), (3,), (4,)]
+
+
+def test_not_in_subquery(eng):
+    result = rows(
+        eng,
+        "SELECT orderkey FROM orders WHERE custkey NOT IN "
+        "(SELECT custkey FROM customer WHERE nation = 'US') ORDER BY 1",
+    )
+    assert result == [(2,), (5,)]
+
+
+def test_scalar_subquery(eng):
+    # avg(totalprice) = 74.0; orders above: 100, 75, 125.
+    assert rows(
+        eng, "SELECT count(*) FROM orders WHERE totalprice > (SELECT avg(totalprice) FROM orders)"
+    ) == [(3,)]
+
+
+def test_exists_subquery(eng):
+    assert rows(
+        eng, "SELECT count(*) FROM orders WHERE EXISTS (SELECT 1 FROM lineitem WHERE tax > 100)"
+    ) == [(0,)]
+
+
+def test_scalar_subquery_multiple_rows_errors(eng):
+    with pytest.raises(SemanticError):
+        rows(eng, "SELECT (SELECT orderkey FROM orders)")
+
+
+def test_derived_table(eng):
+    assert rows(
+        eng,
+        "SELECT max(total) FROM (SELECT custkey, sum(totalprice) total FROM orders GROUP BY custkey) t",
+    ) == [(175.0,)]
+
+
+# ---- sorting / limits -----------------------------------------------------------------------
+
+
+def test_order_by_multiple_keys(eng):
+    result = rows(eng, "SELECT status, orderkey FROM orders ORDER BY status DESC, orderkey")
+    assert result[0][0] == "OK"
+    assert result == sorted(result, key=lambda r: (-ord(r[0][0]), r[1]))
+
+
+def test_order_by_unselected_column(eng):
+    assert rows(eng, "SELECT orderkey FROM orders ORDER BY totalprice LIMIT 2") == [(4,), (2,)]
+
+
+def test_order_by_nulls(eng):
+    result = rows(
+        eng,
+        "SELECT x FROM (VALUES 3, NULL, 1) t(x) ORDER BY x ASC NULLS FIRST",
+    )
+    assert result == [(None,), (1,), (3,)]
+    result = rows(eng, "SELECT x FROM (VALUES 3, NULL, 1) t(x) ORDER BY x")
+    assert result == [(1,), (3,), (None,)]  # ANSI default NULLS LAST for ASC
+
+
+def test_limit(eng):
+    assert len(rows(eng, "SELECT * FROM orders LIMIT 3")) == 3
+
+
+def test_topn(eng):
+    assert rows(eng, "SELECT orderkey FROM orders ORDER BY totalprice DESC LIMIT 2") == [
+        (5,), (1,),
+    ]
+
+
+def test_distinct(eng):
+    assert rows(eng, "SELECT DISTINCT status FROM orders ORDER BY 1") == [("F",), ("OK",)]
+
+
+def test_distinct_multiple_columns(eng):
+    assert len(rows(eng, "SELECT DISTINCT custkey, status FROM orders")) == 4
+
+
+# ---- window functions -----------------------------------------------------------------------
+
+
+def test_rank_and_row_number(eng):
+    result = rows(
+        eng,
+        "SELECT orderkey, row_number() OVER (ORDER BY totalprice DESC), "
+        "rank() OVER (ORDER BY status) FROM orders ORDER BY orderkey",
+    )
+    assert result[0][0] == 1
+
+
+def test_window_partition(eng):
+    result = rows(
+        eng,
+        "SELECT custkey, totalprice, sum(totalprice) OVER (PARTITION BY custkey) "
+        "FROM orders ORDER BY custkey, totalprice",
+    )
+    assert result == [
+        (10, 75.0, 175.0),
+        (10, 100.0, 175.0),
+        (20, 50.0, 175.0),
+        (20, 125.0, 175.0),
+        (30, 20.0, 20.0),
+    ]
+
+
+def test_running_sum(eng):
+    result = rows(
+        eng,
+        "SELECT orderkey, sum(totalprice) OVER (ORDER BY orderkey) FROM orders ORDER BY orderkey",
+    )
+    assert result == [(1, 100.0), (2, 150.0), (3, 225.0), (4, 245.0), (5, 370.0)]
+
+
+def test_lag_lead(eng):
+    result = rows(
+        eng,
+        "SELECT orderkey, lag(orderkey) OVER (ORDER BY orderkey), "
+        "lead(orderkey) OVER (ORDER BY orderkey) FROM orders ORDER BY orderkey",
+    )
+    assert result[0] == (1, None, 2)
+    assert result[-1] == (5, 4, None)
+
+
+def test_ntile(eng):
+    result = rows(eng, "SELECT ntile(2) OVER (ORDER BY orderkey) FROM orders")
+    assert sorted(r[0] for r in result) == [1, 1, 1, 2, 2]
+
+
+def test_rows_frame(eng):
+    result = rows(
+        eng,
+        "SELECT orderkey, sum(totalprice) OVER (ORDER BY orderkey "
+        "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) FROM orders ORDER BY orderkey",
+    )
+    assert result[1] == (2, 150.0)
+    assert result[2] == (3, 125.0)
+
+
+# ---- set operations ---------------------------------------------------------------------------
+
+
+def test_union_and_union_all(eng):
+    assert rows(eng, "SELECT 1 UNION SELECT 1") == [(1,)]
+    assert rows(eng, "SELECT 1 UNION ALL SELECT 1") == [(1,), (1,)]
+
+
+def test_union_type_unification(eng):
+    result = rows(eng, "SELECT 1 UNION ALL SELECT 2.5 ORDER BY 1")
+    assert result == [(1.0,), (2.5,)]
+
+
+def test_intersect_except(eng):
+    assert rows(eng, "SELECT x FROM (VALUES 1,2,3) t(x) INTERSECT SELECT 2") == [(2,)]
+    assert rows(
+        eng, "SELECT x FROM (VALUES 1,2,2,3) t(x) EXCEPT SELECT 2 ORDER BY 1"
+    ) == [(1,), (3,)]
+
+
+# ---- complex types ---------------------------------------------------------------------------
+
+
+def test_array_operations(eng):
+    assert rows(eng, "SELECT ARRAY[1,2,3][2], cardinality(ARRAY[1,2])") == [(2, 2)]
+
+
+def test_lambda_functions(eng):
+    assert rows(eng, "SELECT transform(sequence(1, 3), x -> x * x)") == [([1, 4, 9],)]
+    assert rows(eng, "SELECT filter(ARRAY[1,2,3,4], x -> x % 2 = 0)") == [([2, 4],)]
+    assert rows(
+        eng, "SELECT reduce(sequence(1, 4), 0, (s, x) -> s + x, s -> s * 10)"
+    ) == [(100,)]
+
+
+def test_unnest(eng):
+    assert rows(eng, "SELECT * FROM UNNEST(ARRAY[1, 2]) t(v) ORDER BY 1") == [(1,), (2,)]
+
+
+def test_unnest_with_ordinality(eng):
+    result = rows(
+        eng,
+        "SELECT v, i FROM UNNEST(ARRAY['a','b']) WITH ORDINALITY t(v, i) ORDER BY i",
+    )
+    assert result == [("a", 1), ("b", 2)]
+
+
+def test_cross_join_unnest(eng):
+    result = rows(
+        eng,
+        "SELECT t.x, u.v FROM (VALUES (1, ARRAY[10, 20]), (2, ARRAY[30])) t(x, arr) "
+        "CROSS JOIN UNNEST(t.arr) u(v) ORDER BY 1, 2",
+    )
+    assert result == [(1, 10), (1, 20), (2, 30)]
+
+
+def test_row_type_field_access(eng):
+    assert rows(eng, "SELECT ROW(1, 'a')[1]") == [(1,)]
+
+
+def test_map_subscript(eng):
+    assert rows(
+        eng,
+        "SELECT map_from_entries(ARRAY[ROW('a', 1), ROW('b', 2)])['b']",
+    ) == [(2,)]
+
+
+# ---- CTEs -------------------------------------------------------------------------------------
+
+
+def test_with_clause(eng):
+    assert rows(
+        eng,
+        "WITH t AS (SELECT custkey FROM orders WHERE status = 'OK') "
+        "SELECT count(*) FROM t",
+    ) == [(3,)]
+
+
+def test_nested_ctes(eng):
+    assert rows(
+        eng,
+        "WITH a AS (SELECT 1 x), b AS (SELECT x + 1 y FROM a) SELECT y FROM b",
+    ) == [(2,)]
+
+
+def test_cte_referenced_twice(eng):
+    assert rows(
+        eng,
+        "WITH t AS (SELECT custkey FROM orders) "
+        "SELECT count(*) FROM t a JOIN t b ON a.custkey = b.custkey",
+    ) == [(9,)]
+
+
+# ---- DDL / DML ----------------------------------------------------------------------------------
+
+
+def test_ctas_and_insert_and_drop():
+    eng = make_engine()
+    eng.execute("CREATE TABLE memory.default.tmp AS SELECT orderkey, totalprice FROM orders")
+    assert eng.execute("SELECT count(*) FROM tmp").scalar() == 5
+    result = eng.execute("INSERT INTO tmp SELECT 99, 1.0")
+    assert result.scalar() == 1
+    assert eng.execute("SELECT count(*) FROM tmp").scalar() == 6
+    eng.execute("DROP TABLE tmp")
+    with pytest.raises(TableNotFoundError):
+        eng.execute("SELECT * FROM tmp")
+
+
+def test_insert_with_column_list():
+    eng = make_engine()
+    eng.execute("CREATE TABLE t2 AS SELECT orderkey, status FROM orders WHERE false")
+    eng.execute("INSERT INTO t2 (status) SELECT 'X'")
+    assert eng.execute("SELECT orderkey, status FROM t2").rows == [(None, "X")]
+
+
+# ---- errors --------------------------------------------------------------------------------------
+
+
+def test_unknown_table(eng):
+    with pytest.raises(TableNotFoundError):
+        rows(eng, "SELECT * FROM nonexistent")
+
+
+def test_unknown_column(eng):
+    with pytest.raises(ColumnNotFoundError):
+        rows(eng, "SELECT nonexistent FROM orders")
+
+
+def test_ambiguous_column(eng):
+    with pytest.raises(UserError):
+        rows(eng, "SELECT orderkey FROM orders, lineitem")
+
+
+def test_aggregate_in_where_rejected(eng):
+    with pytest.raises(SemanticError):
+        rows(eng, "SELECT 1 FROM orders WHERE count(*) > 1")
+
+
+def test_type_mismatch(eng):
+    with pytest.raises(UserError):
+        rows(eng, "SELECT 'a' + 1")
+
+
+# ---- optimizer equivalence -----------------------------------------------------------------------
+
+
+EQUIVALENCE_QUERIES = [
+    "SELECT status, count(*), sum(totalprice) FROM orders WHERE totalprice > 30 GROUP BY status ORDER BY 1",
+    "SELECT o.orderkey, l.tax FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey WHERE o.status = 'OK' ORDER BY 1, 2",
+    "SELECT c.name FROM customer c LEFT JOIN orders o ON c.custkey = o.custkey WHERE o.totalprice > 60 ORDER BY 1",
+    "SELECT orderkey FROM orders ORDER BY totalprice DESC LIMIT 3",
+    "SELECT DISTINCT status FROM orders WHERE orderkey IN (SELECT orderkey FROM lineitem) ORDER BY 1",
+    "SELECT custkey, max(totalprice) FROM orders GROUP BY custkey HAVING count(*) > 1 ORDER BY 1",
+]
+
+
+@pytest.mark.parametrize("sql", EQUIVALENCE_QUERIES)
+def test_optimizer_preserves_results(sql):
+    optimized = make_engine(optimize=True).execute(sql).rows
+    unoptimized = make_engine(optimize=False).execute(sql).rows
+    assert optimized == unoptimized
+
+
+def test_tablesample_bernoulli(eng):
+    total = eng.execute("SELECT count(*) FROM orders").scalar()
+    sampled = eng.execute("SELECT count(*) FROM orders TABLESAMPLE BERNOULLI(100)").scalar()
+    assert sampled == total
+    assert eng.execute("SELECT count(*) FROM orders TABLESAMPLE BERNOULLI(0)").scalar() == 0
+
+
+def test_tablesample_statistical(eng):
+    # Over the tpch-sized table the sample rate converges.
+    from repro.client import LocalEngine
+    from repro.connectors.tpch import TpchConnector
+
+    engine = LocalEngine(catalog="tpch", schema="tiny")
+    engine.register_catalog("tpch", TpchConnector(scale_factor=0.004))
+    total = engine.execute("SELECT count(*) FROM lineitem").scalar()
+    sampled = engine.execute(
+        "SELECT count(*) FROM lineitem TABLESAMPLE BERNOULLI(25)"
+    ).scalar()
+    assert 0.18 * total < sampled < 0.32 * total
+
+
+def test_tablesample_with_alias_and_join(eng):
+    rows = eng.execute(
+        "SELECT count(*) FROM orders o TABLESAMPLE BERNOULLI(100) "
+        "JOIN lineitem l ON o.orderkey = l.orderkey"
+    ).scalar()
+    assert rows == 5

@@ -1,0 +1,91 @@
+"""Type system and coercion tests."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.types import (
+    ARRAY,
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    MAP,
+    ROW,
+    UNKNOWN,
+    VARCHAR,
+    can_coerce,
+    common_super_type,
+    is_type_only_coercion,
+    parse_type,
+)
+
+
+def test_parse_scalars():
+    assert parse_type("bigint") is BIGINT
+    assert parse_type("BIGINT") is BIGINT
+    assert parse_type("varchar(255)") is VARCHAR
+    assert parse_type("int") is INTEGER
+    assert parse_type("string") is VARCHAR
+
+
+def test_parse_parametric():
+    assert parse_type("array(bigint)") == ARRAY(BIGINT)
+    assert parse_type("map(varchar, double)") == MAP(VARCHAR, DOUBLE)
+    nested = parse_type("array(map(varchar, array(bigint)))")
+    assert nested == ARRAY(MAP(VARCHAR, ARRAY(BIGINT)))
+
+
+def test_parse_row():
+    row = parse_type("row(x bigint, y double)")
+    assert row == ROW(("x", BIGINT), ("y", DOUBLE))
+    assert row.field_type("X") is BIGINT
+
+
+def test_parse_errors():
+    for bad in ["frob", "array(", "array(bigint", "map(bigint)", "bigint extra"]:
+        with pytest.raises(TypeError_):
+            parse_type(bad)
+
+
+def test_numeric_widening():
+    assert can_coerce(INTEGER, BIGINT)
+    assert can_coerce(INTEGER, DOUBLE)
+    assert can_coerce(BIGINT, DOUBLE)
+    assert not can_coerce(DOUBLE, BIGINT)
+    assert not can_coerce(VARCHAR, BIGINT)
+
+
+def test_unknown_coerces_to_anything():
+    assert can_coerce(UNKNOWN, BIGINT)
+    assert can_coerce(UNKNOWN, ARRAY(MAP(VARCHAR, DOUBLE)))
+
+
+def test_structural_coercion():
+    assert can_coerce(ARRAY(INTEGER), ARRAY(BIGINT))
+    assert not can_coerce(ARRAY(DOUBLE), ARRAY(BIGINT))
+    assert can_coerce(MAP(INTEGER, INTEGER), MAP(BIGINT, DOUBLE))
+
+
+def test_common_super_type():
+    assert common_super_type(INTEGER, DOUBLE) is DOUBLE
+    assert common_super_type(BIGINT, BIGINT) is BIGINT
+    assert common_super_type(UNKNOWN, VARCHAR) is VARCHAR
+    assert common_super_type(VARCHAR, BIGINT) is None
+    assert common_super_type(ARRAY(INTEGER), ARRAY(DOUBLE)) == ARRAY(DOUBLE)
+
+
+def test_type_only_coercion():
+    assert is_type_only_coercion(INTEGER, BIGINT)
+    assert not is_type_only_coercion(BIGINT, DOUBLE)
+    assert is_type_only_coercion(ARRAY(INTEGER), ARRAY(BIGINT))
+
+
+def test_orderability():
+    assert BIGINT.is_orderable
+    assert not MAP(VARCHAR, BIGINT).is_orderable
+    assert ARRAY(BIGINT).is_orderable
+
+
+def test_type_str_roundtrip():
+    for text in ["bigint", "array(bigint)", "map(varchar, double)"]:
+        assert str(parse_type(text)) == text
