@@ -52,11 +52,15 @@ class LocalEngine:
         catalog: str = "memory",
         schema: str = "default",
         optimize: bool = True,
+        interpreted: bool = False,
     ):
         self.metadata = Metadata()
         self.default_catalog = catalog
         self.default_schema = schema
         self.optimize = optimize
+        # Row-at-a-time interpreted expression evaluation (reference mode
+        # for differential fuzzing) instead of the compiled path.
+        self.interpreted = interpreted
 
     # -- catalog management ------------------------------------------------
 
@@ -102,7 +106,7 @@ class LocalEngine:
         if isinstance(statement, ast.DropTable):
             return self._drop_table(statement)
         plan = self.plan(statement)
-        result = execute_plan(self.metadata, plan)
+        result = execute_plan(self.metadata, plan, interpreted=self.interpreted)
         return QueryResult(result.column_names, result.column_types, result.rows())
 
     def plan(self, statement: ast.Statement, optimize: Optional[bool] = None):

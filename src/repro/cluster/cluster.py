@@ -252,24 +252,40 @@ class SimCluster:
         user_delta, system_delta = task.memory_deltas()
         if user_delta or system_delta:
             try:
+                # Sec. IV-F2: a spilling cluster revokes memory before
+                # falling back to reserved-pool promotion, so the first
+                # attempt must not promote.
                 outcome = self.memory_manager.reserve(
-                    task.query_id, worker.name, user_delta, system_delta
+                    task.query_id,
+                    worker.name,
+                    user_delta,
+                    system_delta,
+                    allow_promotion=not self.config.spill_enabled,
                 )
             except ExceededMemoryLimitError as exc:
                 query.fail(exc)
                 return
+            if outcome == "blocked" and self.config.spill_enabled:
+                task.revoke_memory(self.spill_context)
+                # Re-attempt with whatever the spill released; promotion
+                # is the fallback when revocation freed nothing.
+                user_now, system_now = task.memory_deltas()
+                try:
+                    outcome = self.memory_manager.reserve(
+                        task.query_id,
+                        worker.name,
+                        user_now,
+                        system_now,
+                        allow_promotion=True,
+                    )
+                except ExceededMemoryLimitError as exc:
+                    query.fail(exc)
+                    return
+                if outcome == "ok":
+                    task.worker.kick(task)
+                    query.on_task_quantum(task)
+                    return
             if outcome == "blocked":
-                if self.config.spill_enabled:
-                    released = task.revoke_memory(self.spill_context)
-                    if released > 0:
-                        # The spill frees general-pool space; account it.
-                        user_now, system_now = task.memory_deltas()
-                        self.memory_manager.reserve(
-                            task.query_id, worker.name, user_now, system_now
-                        )
-                        task.worker.kick(task)
-                        query.on_task_quantum(task)
-                        return
                 task.memory_blocked = True
                 self._memory_blocked_tasks.append(task)
         query.on_task_quantum(task)

@@ -75,10 +75,17 @@ class ExecutionResult:
 
 
 class LocalExecutionPlanner:
-    """Lowers plan nodes to operator pipelines."""
+    """Lowers plan nodes to operator pipelines.
 
-    def __init__(self, metadata: Metadata):
+    ``interpreted=True`` selects row-at-a-time interpreted expression
+    evaluation in every filter/project (and join residual) instead of
+    the compiled/vectorized path — the reference execution mode used by
+    the differential fuzzing harness.
+    """
+
+    def __init__(self, metadata: Metadata, interpreted: bool = False):
         self.metadata = metadata
+        self.interpreted = interpreted
         self.pipelines: list[list[Operator]] = []
 
     # -- public API ------------------------------------------------------------
@@ -136,7 +143,11 @@ class LocalExecutionPlanner:
         # Fuse Filter(+Project above it is handled in ProjectNode).
         operators, symbols = self.visit(node.source)
         identity = [ir.Variable(s.type, s.name) for s in symbols]
-        operators.append(FilterProjectOperator(symbols, node.predicate, identity))
+        operators.append(
+            FilterProjectOperator(
+                symbols, node.predicate, identity, interpreted=self.interpreted
+            )
+        )
         return operators, symbols
 
     def _visit_ProjectNode(self, node: plan.ProjectNode):
@@ -148,7 +159,11 @@ class LocalExecutionPlanner:
             source = source.source
         operators, symbols = self.visit(source)
         projections = list(node.assignments.values())
-        operators.append(FilterProjectOperator(symbols, filter_expr, projections))
+        operators.append(
+            FilterProjectOperator(
+                symbols, filter_expr, projections, interpreted=self.interpreted
+            )
+        )
         return operators, list(node.assignments.keys())
 
     def _visit_LimitNode(self, node: plan.LimitNode):
@@ -214,16 +229,30 @@ class LocalExecutionPlanner:
         build_ops, build_symbols = self.visit(node.right)
         bridge = JoinBridge()
         output_symbols = probe_symbols + build_symbols
-        if node.join_type is plan.JoinType.CROSS or not node.criteria:
-            if node.join_type is not plan.JoinType.CROSS and node.criteria:
-                raise PrestoError("non-cross join without criteria")
+        outer = node.join_type in (
+            plan.JoinType.LEFT,
+            plan.JoinType.RIGHT,
+            plan.JoinType.FULL,
+        )
+        if (node.join_type is plan.JoinType.CROSS or not node.criteria) and not outer:
+            # Inner/cross semantics: a nested-loop join plus the ON
+            # condition as a plain filter. Outer joins without equi
+            # criteria instead go through the hash path below with an
+            # empty key list (all rows share the key ``()``), because
+            # padding of unmatched rows needs the matched-tracking the
+            # filter approach cannot provide.
             build_ops.append(NestedLoopBuildOperator(bridge))
             self.pipelines.append(build_ops)
             probe_ops.append(NestedLoopJoinOperator(bridge))
             if node.filter is not None:
                 identity = [ir.Variable(s.type, s.name) for s in output_symbols]
                 probe_ops.append(
-                    FilterProjectOperator(output_symbols, node.filter, identity)
+                    FilterProjectOperator(
+                        output_symbols,
+                        node.filter,
+                        identity,
+                        interpreted=self.interpreted,
+                    )
                 )
             return probe_ops, output_symbols
         build_keys = [_channel(build_symbols, c.right) for c in node.criteria]
@@ -232,8 +261,16 @@ class LocalExecutionPlanner:
         self.pipelines.append(build_ops)
         residual = None
         if node.filter is not None:
-            compiled = compile_expression(node.filter, output_symbols)
-            residual = compiled.evaluate_row
+            if self.interpreted:
+                names = [s.name for s in output_symbols]
+                residual_expr = node.filter
+
+                def residual(row, _names=names, _expr=residual_expr):
+                    return interpreter.evaluate(_expr, dict(zip(_names, row)))
+
+            else:
+                compiled = compile_expression(node.filter, output_symbols)
+                residual = compiled.evaluate_row
         probe_ops.append(
             LookupJoinOperator(
                 bridge,
@@ -420,9 +457,11 @@ def _channel(symbols: list[Symbol], symbol: Symbol) -> int:
     raise PrestoError(f"Symbol {symbol.name} not found in {[s.name for s in symbols]}")
 
 
-def execute_plan(metadata: Metadata, logical_plan) -> ExecutionResult:
+def execute_plan(
+    metadata: Metadata, logical_plan, interpreted: bool = False
+) -> ExecutionResult:
     """Execute a planner Plan in-process and return all result pages."""
-    planner = LocalExecutionPlanner(metadata)
+    planner = LocalExecutionPlanner(metadata, interpreted=interpreted)
     drivers, collector = planner.plan(logical_plan.root)
     run_drivers_to_completion(drivers)
     return ExecutionResult(

@@ -134,9 +134,12 @@ class FilterProjectOperator(StreamingOperator):
         input_symbols: Sequence[Symbol],
         filter_expr: Optional[ir.RowExpression],
         projections: Sequence[ir.RowExpression],
+        interpreted: bool = False,
     ):
         super().__init__()
-        self.processor = PageProcessor(input_symbols, filter_expr, projections)
+        self.processor = PageProcessor(
+            input_symbols, filter_expr, projections, interpreted=interpreted
+        )
 
     def process(self, page: Page) -> Optional[Page]:
         return self.processor.process(page)

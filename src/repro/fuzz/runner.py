@@ -1,0 +1,325 @@
+"""Multi-way agreement runner.
+
+Executes one fuzz case through five engine configurations and compares
+every result against the reference oracle:
+
+1. ``interpreter`` — unoptimized plan, row-at-a-time interpreted
+   expression evaluation (no compiler, no vectorization)
+2. ``compiled``    — unoptimized plan, compiled page processor
+3. ``optimized``   — full optimizer rules, local execution
+4. ``cluster``     — SimCluster: fragmented, scheduled, shuffled
+5. ``cluster_faults`` — SimCluster with transient transfer failures
+   plus a mid-query worker crash; the client retries per paper Sec. IV-G
+
+Errors are outcomes too: if the oracle raises, every configuration must
+raise an error of the same class.
+
+Floats are normalized by rounding to 6 digits before comparison — the
+cluster's partial aggregation legitimately reorders additions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.client.session import LocalEngine
+from repro.cluster import ClusterConfig, SimCluster
+from repro.connectors.memory import MemoryConnector
+from repro.errors import WorkerFailedError
+from repro.fuzz.grammar import FeatureMask, FuzzCase, TableSpec, generate_case
+from repro.fuzz.oracle import run_oracle
+from repro.types import BIGINT, DOUBLE, VARCHAR
+
+CONFIG_NAMES = ("interpreter", "compiled", "optimized", "cluster", "cluster_faults")
+
+# The case currently (or most recently) executing. Deliberately NOT
+# cleared after a check: tests assert on check_case's result *after* it
+# returns, and tests/conftest.py reads this to print the failing seed.
+CURRENT_CASE: Optional[FuzzCase] = None
+
+_TYPE_NAMES = {"bigint": BIGINT, "double": DOUBLE, "varchar": VARCHAR}
+
+
+@dataclass
+class Outcome:
+    """Result of one configuration: rows or an error class name."""
+
+    rows: Optional[list[tuple]] = None
+    error: Optional[str] = None
+    ordered_rows: Optional[list[tuple]] = None  # pre-sort, for ORDER BY checks
+
+    def key(self):
+        if self.error is not None:
+            return ("error", self.error)
+        return ("rows", tuple(self.rows))
+
+
+@dataclass
+class Disagreement:
+    config: str
+    sql: str
+    seed: Optional[int]
+    expected: Outcome
+    actual: Outcome
+    detail: str = ""
+
+    def __str__(self) -> str:
+        lines = [
+            f"config {self.config!r} disagrees with oracle"
+            + (f" (seed {self.seed})" if self.seed is not None else ""),
+            f"  sql: {self.sql}",
+        ]
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        lines.append(f"  oracle: {_preview(self.expected)}")
+        lines.append(f"  actual: {_preview(self.actual)}")
+        return "\n".join(lines)
+
+
+def _preview(outcome: Outcome, limit: int = 8) -> str:
+    if outcome.error is not None:
+        return f"error {outcome.error}"
+    rows = outcome.rows or []
+    shown = ", ".join(repr(r) for r in rows[:limit])
+    suffix = f", ... ({len(rows)} rows)" if len(rows) > limit else f" ({len(rows)} rows)"
+    return f"[{shown}]{suffix}"
+
+
+# --------------------------------------------------------------------------
+# Normalization
+# --------------------------------------------------------------------------
+
+
+def normalize_value(value):
+    if value is None or isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        rounded = round(value, 6)
+        # Avoid -0.0 vs 0.0 flakes.
+        return 0.0 if rounded == 0 else rounded
+    if isinstance(value, int):
+        return int(value)
+    return value
+
+
+def normalize_rows(rows) -> list[tuple]:
+    """Round floats and sort as a multiset (repr order)."""
+    out = [tuple(normalize_value(v) for v in row) for row in rows]
+    out.sort(key=repr)
+    return out
+
+
+def _check_sorted(rows, order_spec) -> bool:
+    """Rows (already normalized values) must be sorted per order_spec."""
+
+    def compare(a, b):
+        for channel, ascending, nulls_first in order_spec:
+            x, y = a[channel], b[channel]
+            if x is None and y is None:
+                continue
+            if x is None:
+                return -1 if nulls_first else 1
+            if y is None:
+                return 1 if nulls_first else -1
+            if x == y:
+                continue
+            less = x < y
+            if ascending:
+                return -1 if less else 1
+            return 1 if less else -1
+        return 0
+
+    normalized = [tuple(normalize_value(v) for v in row) for row in rows]
+    return all(
+        compare(normalized[i], normalized[i + 1]) <= 0
+        for i in range(len(normalized) - 1)
+    )
+
+
+# --------------------------------------------------------------------------
+# Engine construction
+# --------------------------------------------------------------------------
+
+
+def load_tables(connector: MemoryConnector, tables: list[TableSpec]) -> None:
+    for table in tables:
+        connector.create_table_with_data(
+            "memory", "default", table.name, table.column_defs(), list(table.rows)
+        )
+
+
+def _local_engine(tables, optimize: bool, interpreted: bool) -> LocalEngine:
+    engine = LocalEngine(optimize=optimize, interpreted=interpreted)
+    connector = MemoryConnector()
+    load_tables(connector, tables)
+    engine.register_catalog("memory", connector)
+    return engine
+
+
+def _cluster(tables, faults: bool) -> SimCluster:
+    config = ClusterConfig(
+        worker_count=3,
+        default_catalog="memory",
+        default_schema="default",
+        transient_failure_rate=0.05 if faults else 0.0,
+    )
+    cluster = SimCluster(config)
+    connector = MemoryConnector()
+    load_tables(connector, tables)
+    cluster.register_catalog("memory", connector)
+    return cluster
+
+
+def _capture(fn: Callable[[], list[tuple]]) -> Outcome:
+    try:
+        rows = fn()
+    except Exception as exc:  # errors are outcomes, compared by class
+        return Outcome(error=type(exc).__name__)
+    return Outcome(rows=normalize_rows(rows), ordered_rows=list(rows))
+
+
+def _run_faulted(tables, sql: str) -> list[tuple]:
+    """Fault-injected run: transient transfer failures are retried by the
+    cluster transparently; a worker crash mid-query fails the query and
+    the client retries on the surviving workers (paper Sec. IV-G)."""
+    cluster = _cluster(tables, faults=True)
+    handle = cluster.submit(sql)
+    cluster.sim.run(until_ms=1.0)
+    crash_victims = cluster.crash_worker("worker-2")
+    cluster.run()
+    if handle.state == "finished" and handle.query_id not in crash_victims:
+        return handle.rows()
+    if not isinstance(handle.error, WorkerFailedError):
+        raise handle.error
+    # Client-side retry on the remaining workers.
+    retry = cluster.run_query(sql)
+    return retry.rows()
+
+
+def run_config(name: str, case_tables, sql: str) -> Outcome:
+    if name == "oracle":
+        connector = MemoryConnector()
+        load_tables(connector, case_tables)
+        from repro.catalog.metadata import Metadata
+
+        metadata = Metadata()
+        metadata.register_catalog("memory", connector)
+        return _capture(lambda: run_oracle(metadata, sql)[1])
+    if name == "interpreter":
+        engine = _local_engine(case_tables, optimize=False, interpreted=True)
+        return _capture(lambda: engine.execute(sql).rows)
+    if name == "compiled":
+        engine = _local_engine(case_tables, optimize=False, interpreted=False)
+        return _capture(lambda: engine.execute(sql).rows)
+    if name == "optimized":
+        engine = _local_engine(case_tables, optimize=True, interpreted=False)
+        return _capture(lambda: engine.execute(sql).rows)
+    if name == "cluster":
+        cluster = _cluster(case_tables, faults=False)
+        return _capture(lambda: cluster.run_query(sql).rows())
+    if name == "cluster_faults":
+        return _capture(lambda: _run_faulted(case_tables, sql))
+    raise ValueError(f"unknown config {name!r}")
+
+
+# --------------------------------------------------------------------------
+# Agreement checking
+# --------------------------------------------------------------------------
+
+
+def check_tables_sql(
+    tables: list[TableSpec] | list[tuple],
+    sql: str,
+    seed: Optional[int] = None,
+    configs=CONFIG_NAMES,
+    order_spec=(),
+) -> list[Disagreement]:
+    """Run ``sql`` over ``tables`` through the oracle plus ``configs``
+    and return every disagreement (empty list = full agreement).
+
+    ``tables`` may be TableSpec objects or plain
+    ``(name, [(column, type_name)], rows)`` tuples (the reproducer file
+    format).
+    """
+    specs = [_coerce_table(t) for t in tables]
+    oracle = run_config("oracle", specs, sql)
+    disagreements: list[Disagreement] = []
+    for name in configs:
+        outcome = run_config(name, specs, sql)
+        if outcome.key() != oracle.key():
+            disagreements.append(
+                Disagreement(name, sql, seed, expected=oracle, actual=outcome)
+            )
+            continue
+        if order_spec and outcome.ordered_rows is not None:
+            if not _check_sorted(outcome.ordered_rows, order_spec):
+                disagreements.append(
+                    Disagreement(
+                        name,
+                        sql,
+                        seed,
+                        expected=oracle,
+                        actual=outcome,
+                        detail="output violates the query's ORDER BY",
+                    )
+                )
+    return disagreements
+
+
+def _coerce_table(table) -> TableSpec:
+    if isinstance(table, TableSpec):
+        return table
+    from repro.fuzz.grammar import ColumnSpec
+
+    name, columns, rows = table
+    return TableSpec(
+        name,
+        [ColumnSpec(c, _TYPE_NAMES[t]) for c, t in columns],
+        [tuple(r) for r in rows],
+    )
+
+
+def check_case(case: FuzzCase, configs=CONFIG_NAMES) -> list[Disagreement]:
+    global CURRENT_CASE
+    CURRENT_CASE = case
+    return check_tables_sql(
+        case.tables,
+        case.sql,
+        seed=case.seed,
+        configs=configs,
+        order_spec=case.order_spec,
+    )
+
+
+@dataclass
+class CampaignResult:
+    cases: int
+    disagreements: list[Disagreement]
+    failing_case: Optional[FuzzCase] = None
+
+
+def run_campaign(
+    seed: int,
+    iterations: int,
+    features: FeatureMask | None = None,
+    configs=CONFIG_NAMES,
+    stop_on_failure: bool = True,
+    progress: Optional[Callable[[int, FuzzCase], None]] = None,
+) -> CampaignResult:
+    """Check ``iterations`` consecutive seeds starting at ``seed``."""
+    all_disagreements: list[Disagreement] = []
+    failing = None
+    count = 0
+    for i in range(iterations):
+        case = generate_case(seed + i, features)
+        if progress is not None:
+            progress(i, case)
+        found = check_case(case, configs)
+        count += 1
+        if found:
+            all_disagreements.extend(found)
+            failing = case
+            if stop_on_failure:
+                break
+    return CampaignResult(count, all_disagreements, failing)

@@ -147,13 +147,23 @@ class ClusterMemoryManager:
     # -- allocation protocol ------------------------------------------------
 
     def reserve(
-        self, query_id: str, node: str, user_delta: int, system_delta: int = 0
+        self,
+        query_id: str,
+        node: str,
+        user_delta: int,
+        system_delta: int = 0,
+        allow_promotion: bool = True,
     ) -> str:
         """Charge memory for a query on a node.
 
         Returns "ok", "blocked" (general pool exhausted; caller must
         stall the task), or raises ExceededMemoryLimitError when the
         query breaks its own limits.
+
+        Spilling clusters pass ``allow_promotion=False`` on the first
+        attempt: Sec. IV-F2 revokes memory from eligible tasks *before*
+        resorting to reserved-pool promotion, so an exhausted pool must
+        report "blocked" to give the caller a chance to spill.
         """
         tracker = self.tracker(query_id)
         pool = self.pools[node]
@@ -172,7 +182,7 @@ class ClusterMemoryManager:
         delta = user_delta + system_delta
         in_reserved = tracker.promoted_to_reserved
         if not pool.try_reserve(query_id, delta, reserved=in_reserved):
-            outcome = self._handle_exhausted(query_id, node, delta)
+            outcome = self._handle_exhausted(query_id, node, delta, allow_promotion)
             if outcome != "ok":
                 return outcome
         tracker.user_bytes_by_node[node] = new_node_user
@@ -181,21 +191,29 @@ class ClusterMemoryManager:
         )
         return "ok"
 
-    def _handle_exhausted(self, query_id: str, node: str, delta: int) -> str:
+    def _handle_exhausted(
+        self, query_id: str, node: str, delta: int, allow_promotion: bool = True
+    ) -> str:
         """General pool exhausted on ``node`` (paper Sec. IV-F2)."""
         pool = self.pools[node]
         if self.reserved_holder is None:
+            if not allow_promotion:
+                return "blocked"
             # Promote the query using the most memory on this node to the
             # reserved pool on ALL nodes, freeing general space.
             victim = max(
                 pool.general_by_query, key=pool.general_by_query.get, default=None
             )
-            if victim is not None:
-                self.promote_to_reserved(victim)
-                if pool.try_reserve(
-                    query_id, delta, reserved=self.trackers[query_id].promoted_to_reserved
-                ):
-                    return "ok"
+            if victim is None:
+                # Nothing charged on this node yet: the requester itself
+                # is the biggest consumer (its first delta overflows the
+                # pool on its own).
+                victim = query_id
+            self.promote_to_reserved(victim)
+            if pool.try_reserve(
+                query_id, delta, reserved=self.trackers[query_id].promoted_to_reserved
+            ):
+                return "ok"
             # Still does not fit: stall.
             return "blocked"
         if self.kill_on_reserved_conflict:

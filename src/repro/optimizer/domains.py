@@ -103,44 +103,62 @@ def _from_comparison(op, left, right) -> tuple[str, Domain] | None:
 
 
 def domain_to_predicate(column: str, domain: Domain, type_) -> ir.RowExpression | None:
-    """Reconstruct a predicate from a domain (for unenforced residues)."""
+    """Reconstruct a predicate equivalent to ``domain`` (for unenforced
+    residues). Must be *faithful*: dropping part of the domain here means
+    the engine silently stops filtering rows the connector did not prune.
+    """
     from repro.types import BOOLEAN
 
-    values = domain.single_values()
+    if domain.is_all():
+        return None
+    if domain.is_none():
+        return ir.false_literal()
     variable = ir.Variable(type_, column)
-    if values is not None:
-        if len(values) == 1:
-            return ir.SpecialForm(
-                BOOLEAN, ir.COMPARISON, (variable, ir.Constant(type_, values[0])), "="
-            )
+
+    def compare(op: str, value) -> ir.RowExpression:
         return ir.SpecialForm(
-            BOOLEAN,
-            ir.IN,
-            tuple([variable] + [ir.Constant(type_, v) for v in values]),
+            BOOLEAN, ir.COMPARISON, (variable, ir.Constant(type_, value)), op
         )
-    conjuncts: list[ir.RowExpression] = []
-    if len(domain.ranges) == 1:
-        r = domain.ranges[0]
-        if r.low is not None:
-            op = ">=" if r.low_inclusive else ">"
-            conjuncts.append(
+
+    disjuncts: list[ir.RowExpression] = []
+    values = domain.single_values()
+    if values is not None and values:
+        if len(values) == 1:
+            disjuncts.append(compare("=", values[0]))
+        else:
+            disjuncts.append(
                 ir.SpecialForm(
-                    BOOLEAN, ir.COMPARISON, (variable, ir.Constant(type_, r.low)), op
+                    BOOLEAN,
+                    ir.IN,
+                    tuple([variable] + [ir.Constant(type_, v) for v in values]),
                 )
             )
-        if r.high is not None:
-            op = "<=" if r.high_inclusive else "<"
-            conjuncts.append(
-                ir.SpecialForm(
-                    BOOLEAN, ir.COMPARISON, (variable, ir.Constant(type_, r.high)), op
+    else:
+        for r in domain.ranges:
+            if r.is_single_value():
+                disjuncts.append(compare("=", r.low))
+                continue
+            bounds: list[ir.RowExpression] = []
+            if r.low is not None:
+                bounds.append(compare(">=" if r.low_inclusive else ">", r.low))
+            if r.high is not None:
+                bounds.append(compare("<=" if r.high_inclusive else "<", r.high))
+            if not bounds:
+                # Unbounded range: any non-null value qualifies.
+                bounds.append(
+                    ir.SpecialForm(
+                        BOOLEAN,
+                        ir.NOT,
+                        (ir.SpecialForm(BOOLEAN, ir.IS_NULL, (variable,)),),
+                    )
                 )
-            )
-    if not domain.null_allowed and not conjuncts:
-        conjuncts.append(
-            ir.SpecialForm(
-                BOOLEAN,
-                ir.NOT,
-                (ir.SpecialForm(BOOLEAN, ir.IS_NULL, (variable,)),),
-            )
-        )
-    return ir.combine_conjuncts(conjuncts)
+            combined = ir.combine_conjuncts(bounds)
+            if combined is not None:
+                disjuncts.append(combined)
+    if domain.null_allowed:
+        disjuncts.append(ir.SpecialForm(BOOLEAN, ir.IS_NULL, (variable,)))
+    if not disjuncts:
+        return ir.false_literal()
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    return ir.SpecialForm(BOOLEAN, ir.OR, tuple(disjuncts))

@@ -213,6 +213,12 @@ def select_join_distribution(root: plan.PlanNode, context) -> tuple[plan.PlanNod
                 and _keys_match(node, left_part.columns, right_part.columns)
             ):
                 return replace(node, distribution=plan.JoinDistribution.COLOCATED)
+        if node.join_type in (plan.JoinType.RIGHT, plan.JoinType.FULL):
+            # The build side is preserved: every task flushes the build
+            # rows it saw no match for, so a replicated build would emit
+            # each unmatched build row once per task. Only a partitioned
+            # build keeps that flush globally correct.
+            return replace(node, distribution=plan.JoinDistribution.PARTITIONED)
         if not context.config.use_cost_based_optimizations:
             return replace(node, distribution=plan.JoinDistribution.PARTITIONED)
         left_estimate = context.stats.estimate(node.left)

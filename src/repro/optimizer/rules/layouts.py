@@ -62,6 +62,12 @@ def _apply(scan: plan.TableScanNode, predicate, context):
         column_domains[column] = column_domain
     constraint = TupleDomain(column_domains) if not domain.is_none() else TupleDomain.none()
     constraint = constraint.intersect(scan.constraint)
+    if domain.is_none() or constraint.is_none():
+        # The predicate is unsatisfiable (e.g. `k IN (1, 3) AND k IN (2, 4)`):
+        # the scan produces no rows. TupleDomain.none() carries no per-column
+        # domains, so it must never reach the residual-rebuild path below —
+        # the filter would silently vanish.
+        return plan.ValuesNode(scan.outputs, [])
 
     layouts = context.metadata.table_layouts(
         scan.table, constraint, list(symbol_to_column.values())

@@ -131,9 +131,11 @@ def _through_join(node: plan.FilterNode, source: plan.JoinNode):
         if reject_left and reject_right:
             join_type = plan.JoinType.INNER
         elif reject_left:
-            join_type = plan.JoinType.RIGHT
-        elif reject_right:
+            # Rejecting NULL left symbols kills the left-padded
+            # (right-unmatched) rows; what survives is a LEFT join.
             join_type = plan.JoinType.LEFT
+        elif reject_right:
+            join_type = plan.JoinType.RIGHT
 
     push_left: list[ir.RowExpression] = []
     push_right: list[ir.RowExpression] = []

@@ -58,8 +58,26 @@ def decorrelate(
             return plan.FilterNode(new_source, residual)
         if isinstance(current, plan.ProjectNode):
             new_source = strip_filters(current.source)
-            if new_source is not current.source:
-                return plan.ProjectNode(new_source, current.assignments)
+            # Correlation keys extracted below this projection reference
+            # symbols this projection may prune (e.g. the subquery's own
+            # SELECT list drops the join column of `WHERE u.a = t.a`).
+            # Thread them through so the final key projection can still
+            # see them; the optimizer would otherwise mask this by
+            # inlining projections, leaving the unoptimized plan broken.
+            needed: set[str] = set()
+            for _, inner_expr in pairs:
+                needed |= ir.referenced_variables(inner_expr)
+            assignments = dict(current.assignments)
+            produced = {s.name for s in assignments}
+            available = {s.name: s for s in new_source.output_symbols}
+            added = False
+            for name in sorted(needed - produced):
+                symbol = available.get(name)
+                if symbol is not None:
+                    assignments[symbol] = ir.Variable(symbol.type, symbol.name)
+                    added = True
+            if new_source is not current.source or added:
+                return plan.ProjectNode(new_source, assignments)
             return current
         # Correlation below aggregations / limits / joins is out of scope.
         return current

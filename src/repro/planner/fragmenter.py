@@ -299,22 +299,50 @@ def _visit_join(node: plan.JoinNode):
     distribution = node.distribution
     if distribution is plan.JoinDistribution.AUTOMATIC:
         distribution = plan.JoinDistribution.PARTITIONED
+    # RIGHT/FULL joins emit unmatched build rows with probe columns
+    # NULL-padded on whatever partition held the build row, so the output
+    # is NOT value-partitioned on the probe keys: equal (NULL) key values
+    # can surface on several partitions at once. Claiming hash_keys here
+    # would let a downstream GROUP BY skip its shuffle and emit duplicate
+    # NULL-key groups.
+    pads_probe = node.join_type in (plan.JoinType.RIGHT, plan.JoinType.FULL)
+
+    def probe_props(props: StreamProperties) -> StreamProperties:
+        if pads_probe and not props.single:
+            return StreamProperties()
+        return props
     if node.join_type is plan.JoinType.CROSS or not node.criteria:
-        if not right_props.single and not left_props.single:
+        if pads_probe:
+            # RIGHT/FULL without equi criteria: there are no keys to
+            # partition on, and a replicated build would flush its
+            # unmatched rows once per task. Run the join single-task.
+            if not left_props.single:
+                left = _remote(left, plan.ExchangeKind.GATHER)
+            if not right_props.single:
+                right = _remote(right, plan.ExchangeKind.GATHER)
+            return node.replace_sources([left, right]), StreamProperties(single=True)
+        # The build side must reach every task of the probe's stage. This
+        # includes a single-stream build (e.g. a scalar subquery's global
+        # aggregate): its GATHER output lands on partition 0 only, so
+        # without an explicit REPLICATE the other probe tasks would join
+        # against an empty build side and silently drop rows.
+        if not left_props.single or not right_props.single:
             right = _remote(right, plan.ExchangeKind.REPLICATE)
         return (
             node.replace_sources([left, right]),
-            StreamProperties(left_props.single, left_props.hash_keys, left_props.connector),
+            probe_props(
+                StreamProperties(
+                    left_props.single, left_props.hash_keys, left_props.connector
+                )
+            ),
         )
     if distribution is plan.JoinDistribution.COLOCATED:
         # Verified compatible by the optimizer: no exchanges at all.
-        return node.replace_sources([left, right]), left_props
+        return node.replace_sources([left, right]), probe_props(left_props)
     if distribution is plan.JoinDistribution.REPLICATED:
-        if not right_props.single and not left_props.single:
+        if not left_props.single or not right_props.single:
             right = _remote(right, plan.ExchangeKind.REPLICATE)
-        elif right_props.single and not left_props.single:
-            right = _remote(right, plan.ExchangeKind.REPLICATE)
-        return node.replace_sources([left, right]), left_props
+        return node.replace_sources([left, right]), probe_props(left_props)
     # PARTITIONED: both sides hashed on the join keys unless already so.
     left_keys = tuple(c.left.name for c in node.criteria)
     right_keys = tuple(c.right.name for c in node.criteria)
@@ -334,7 +362,7 @@ def _visit_join(node: plan.JoinNode):
         )
     return (
         node.replace_sources([left, right]),
-        StreamProperties(hash_keys=left_keys),
+        probe_props(StreamProperties(hash_keys=left_keys)),
     )
 
 

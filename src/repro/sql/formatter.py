@@ -1,4 +1,11 @@
-"""Render AST nodes back to SQL text (used by EXPLAIN and error messages)."""
+"""Render AST nodes back to SQL text.
+
+Used by EXPLAIN and error messages, and by the fuzzing subsystem
+(:mod:`repro.fuzz`), whose generator emits ASTs and relies on
+``format_statement`` to turn them into executable SQL. Formatting is
+parenthesized-normalized: ``format(parse(format(x))) == format(x)`` is
+a tested fixed-point property for every statement the parser accepts.
+"""
 
 from __future__ import annotations
 
@@ -37,7 +44,20 @@ def format_expression(expr: ast.Expression) -> str:
     if isinstance(expr, ast.Comparison):
         return f"({f(expr.left)} {expr.op.value} {f(expr.right)})"
     if isinstance(expr, ast.Logical):
-        joined = f" {expr.op.value} ".join(f(t) for t in expr.terms)
+        # Render nested same-op chains flat, matching the parser's
+        # flattened representation (so format∘parse is a fixed point).
+        terms: list[ast.Expression] = []
+
+        def flatten(term: ast.Expression) -> None:
+            if isinstance(term, ast.Logical) and term.op == expr.op:
+                for inner in term.terms:
+                    flatten(inner)
+            else:
+                terms.append(term)
+
+        for term in expr.terms:
+            flatten(term)
+        joined = f" {expr.op.value} ".join(f(t) for t in terms)
         return f"({joined})"
     if isinstance(expr, ast.Not):
         return f"(NOT {f(expr.value)})"
@@ -51,11 +71,11 @@ def format_expression(expr: ast.Expression) -> str:
         items = ", ".join(f(i) for i in expr.items)
         return f"({f(expr.value)} IN ({items}))"
     if isinstance(expr, ast.InSubquery):
-        return f"({f(expr.value)} IN (<subquery>))"
+        return f"({f(expr.value)} IN ({format_query(expr.query)}))"
     if isinstance(expr, ast.Exists):
-        return "EXISTS (<subquery>)"
+        return f"EXISTS ({format_query(expr.query)})"
     if isinstance(expr, ast.ScalarSubquery):
-        return "(<scalar subquery>)"
+        return f"({format_query(expr.query)})"
     if isinstance(expr, ast.Like):
         suffix = f" ESCAPE {f(expr.escape)}" if expr.escape else ""
         return f"({f(expr.value)} LIKE {f(expr.pattern)}{suffix})"
@@ -136,3 +156,185 @@ def _format_sort_item(item: ast.SortItem) -> str:
     elif item.nulls_first is False:
         text += " NULLS LAST"
     return text
+
+
+# --------------------------------------------------------------------------
+# Statements, queries, and relations
+# --------------------------------------------------------------------------
+
+
+def format_statement(statement: ast.Statement) -> str:
+    """Render a full statement back to SQL."""
+    if isinstance(statement, ast.Query):
+        return format_query(statement)
+    if isinstance(statement, ast.Explain):
+        prefix = "EXPLAIN"
+        if statement.analyze:
+            prefix += " ANALYZE"
+        elif statement.explain_type != "LOGICAL":
+            prefix += f" ({statement.explain_type})"
+        return f"{prefix} {format_statement(statement.statement)}"
+    if isinstance(statement, ast.Insert):
+        columns = (
+            " (" + ", ".join(statement.columns) + ")" if statement.columns else ""
+        )
+        return f"INSERT INTO {statement.target}{columns} {format_query(statement.query)}"
+    if isinstance(statement, ast.CreateTableAsSelect):
+        return f"CREATE TABLE {statement.name} AS {format_query(statement.query)}"
+    if isinstance(statement, ast.DropTable):
+        exists = "IF EXISTS " if statement.if_exists else ""
+        return f"DROP TABLE {exists}{statement.name}"
+    if isinstance(statement, ast.ShowTables):
+        suffix = f" FROM {statement.schema}" if statement.schema else ""
+        return f"SHOW TABLES{suffix}"
+    if isinstance(statement, ast.ShowCatalogs):
+        return "SHOW CATALOGS"
+    if isinstance(statement, ast.ShowSchemas):
+        suffix = f" FROM {statement.catalog}" if statement.catalog else ""
+        return f"SHOW SCHEMAS{suffix}"
+    if isinstance(statement, ast.ShowFunctions):
+        return "SHOW FUNCTIONS"
+    if isinstance(statement, ast.ShowColumns):
+        return f"SHOW COLUMNS FROM {statement.table}"
+    raise ValueError(f"Cannot format statement: {type(statement).__name__}")
+
+
+def format_query(query: ast.Query) -> str:
+    parts = []
+    if query.with_ is not None:
+        ctes = ", ".join(
+            _format_with_query(w) for w in query.with_.queries
+        )
+        parts.append(f"WITH {ctes}")
+    parts.append(_format_query_body(query.body))
+    if query.order_by:
+        parts.append(
+            "ORDER BY " + ", ".join(_format_sort_item(s) for s in query.order_by)
+        )
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)
+
+
+def _format_with_query(with_query: ast.WithQuery) -> str:
+    columns = (
+        " (" + ", ".join(with_query.column_names) + ")"
+        if with_query.column_names
+        else ""
+    )
+    return f"{with_query.name}{columns} AS ({format_query(with_query.query)})"
+
+
+def _format_query_body(body: ast.QueryBody) -> str:
+    if isinstance(body, ast.QuerySpecification):
+        return _format_query_specification(body)
+    if isinstance(body, ast.SetOperation):
+        quantifier = "" if body.distinct else " ALL"
+
+        def operand(side: ast.QueryBody) -> str:
+            # Parenthesize nested set operations so precedence survives the
+            # round trip (the parens re-parse as a table subquery, which
+            # formats back to the identical string).
+            text = _format_query_body(side)
+            return f"({text})" if isinstance(side, ast.SetOperation) else text
+
+        return f"{operand(body.left)} {body.kind.value}{quantifier} {operand(body.right)}"
+    if isinstance(body, ast.TableSubqueryBody):
+        return f"({format_query(body.query)})"
+    if isinstance(body, ast.ValuesBody):
+        return "VALUES " + ", ".join(_format_values_row(row) for row in body.rows)
+    raise ValueError(f"Cannot format query body: {type(body).__name__}")
+
+
+def _format_values_row(row: tuple) -> str:
+    return "(" + ", ".join(format_expression(e) for e in row) + ")"
+
+
+def _format_query_specification(spec: ast.QuerySpecification) -> str:
+    distinct = "DISTINCT " if spec.select.distinct else ""
+    items = ", ".join(_format_select_item(i) for i in spec.select.items)
+    parts = [f"SELECT {distinct}{items}"]
+    if spec.from_ is not None:
+        parts.append(f"FROM {format_relation(spec.from_)}")
+    if spec.where is not None:
+        parts.append(f"WHERE {format_expression(spec.where)}")
+    if spec.group_by is not None:
+        parts.append(_format_group_by(spec.group_by))
+    if spec.having is not None:
+        parts.append(f"HAVING {format_expression(spec.having)}")
+    if spec.order_by:
+        parts.append(
+            "ORDER BY " + ", ".join(_format_sort_item(s) for s in spec.order_by)
+        )
+    if spec.limit is not None:
+        parts.append(f"LIMIT {spec.limit}")
+    return " ".join(parts)
+
+
+def _format_select_item(item: ast.SelectItem) -> str:
+    if isinstance(item, ast.AllColumns):
+        return f"{item.prefix}.*" if item.prefix is not None else "*"
+    assert isinstance(item, ast.SingleColumn)
+    text = format_expression(item.expression)
+    if item.alias is not None:
+        text += f" AS {item.alias}"
+    return text
+
+
+def _format_group_by(group_by: ast.GroupBy) -> str:
+    if group_by.grouping_sets is not None:
+        sets = ", ".join(
+            "(" + ", ".join(format_expression(e) for e in subset) + ")"
+            for subset in group_by.grouping_sets
+        )
+        return f"GROUP BY GROUPING SETS ({sets})"
+    return "GROUP BY " + ", ".join(
+        format_expression(e) for e in group_by.expressions
+    )
+
+
+def format_relation(relation: ast.Relation) -> str:
+    if isinstance(relation, ast.Table):
+        return str(relation.name)
+    if isinstance(relation, ast.AliasedRelation):
+        columns = (
+            " (" + ", ".join(relation.column_names) + ")"
+            if relation.column_names
+            else ""
+        )
+        return f"{format_relation(relation.relation)} AS {relation.alias}{columns}"
+    if isinstance(relation, ast.SubqueryRelation):
+        return f"({format_query(relation.query)})"
+    if isinstance(relation, ast.Join):
+        left = format_relation(relation.left)
+        right = format_relation(relation.right)
+        if relation.join_type is ast.JoinType.IMPLICIT:
+            return f"{left}, {right}"
+        if relation.join_type is ast.JoinType.CROSS:
+            return f"{left} CROSS JOIN {right}"
+        keyword = {
+            ast.JoinType.INNER: "JOIN",
+            ast.JoinType.LEFT: "LEFT JOIN",
+            ast.JoinType.RIGHT: "RIGHT JOIN",
+            ast.JoinType.FULL: "FULL JOIN",
+        }[relation.join_type]
+        text = f"{left} {keyword} {right}"
+        if isinstance(relation.criteria, ast.JoinOn):
+            text += f" ON {format_expression(relation.criteria.expression)}"
+        elif isinstance(relation.criteria, ast.JoinUsing):
+            text += " USING (" + ", ".join(relation.criteria.columns) + ")"
+        return text
+    if isinstance(relation, ast.SampledRelation):
+        return (
+            f"{format_relation(relation.relation)} TABLESAMPLE "
+            f"{relation.method} ({format_expression(relation.percentage)})"
+        )
+    if isinstance(relation, ast.Unnest):
+        exprs = ", ".join(format_expression(e) for e in relation.expressions)
+        suffix = " WITH ORDINALITY" if relation.with_ordinality else ""
+        return f"UNNEST({exprs}){suffix}"
+    if isinstance(relation, ast.Values):
+        return "(VALUES " + ", ".join(
+            _format_values_row(row) for row in relation.rows
+        ) + ")"
+    raise ValueError(f"Cannot format relation: {type(relation).__name__}")

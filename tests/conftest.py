@@ -1,5 +1,7 @@
 """Shared fixtures: a LocalEngine over the memory connector with a small
-star schema (orders / lineitem / customer)."""
+star schema (orders / lineitem / customer), plus fuzzing hooks (the
+``--fuzz-iterations`` option, ``fuzz_long`` gating, and the failing-seed
+report on fuzz assertion errors)."""
 
 from __future__ import annotations
 
@@ -8,6 +10,57 @@ import pytest
 from repro.client import LocalEngine
 from repro.connectors.memory import MemoryConnector
 from repro.types import BIGINT, DOUBLE, VARCHAR
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-iterations",
+        type=int,
+        default=None,
+        help="number of seeds for the extended fuzz campaign "
+        "(-m fuzz_long); also scales the tier-1 bounded corpus",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    # The extended campaign is opt-in: deselect fuzz_long unless the
+    # marker was requested explicitly via -m.
+    if "fuzz_long" in (config.getoption("-m") or ""):
+        return
+    skip = pytest.mark.skip(reason="extended fuzz campaign; run with -m fuzz_long")
+    for item in items:
+        if "fuzz_long" in item.keywords:
+            item.add_marker(skip)
+
+
+@pytest.fixture
+def fuzz_iterations(request):
+    return request.config.getoption("--fuzz-iterations")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On a fuzz assertion failure, print the case that was executing so
+    the seed is always visible and replayable."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    try:
+        from repro.fuzz import runner
+    except Exception:
+        return
+    case = runner.CURRENT_CASE
+    if case is None:
+        return
+    report.sections.append(
+        (
+            "fuzz case",
+            f"seed={case.seed}\nfeatures={case.features.enabled()}\n"
+            f"sql={case.sql}\n"
+            f"replay: python -m repro.fuzz --seed {case.seed} --iterations 1",
+        )
+    )
 
 
 def make_engine(optimize: bool = True, statistics: bool = True) -> LocalEngine:

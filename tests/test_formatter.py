@@ -83,3 +83,37 @@ def test_string_literals_round_trip(value):
     expr = ast.StringLiteral(value)
     parsed = parse_expression(format_expression(expr))
     assert parsed == expr
+
+
+# ---------------------------------------------------------------------------
+# Fuzz-corpus property: format ∘ parse is a fixed point on whole
+# statements, for every query the grammar fuzzer can emit
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(0, 300, 3))
+def test_fuzz_statement_format_parse_fixed_point(seed):
+    from repro.fuzz.grammar import generate_case
+    from repro.sql.formatter import format_statement
+    from repro.sql.parser import parse_statement
+
+    statement = generate_case(seed).statement
+    once = format_statement(statement)
+    reparsed = parse_statement(once)
+    assert format_statement(reparsed) == once, f"not a fixed point:\n{once}"
+
+
+@pytest.mark.parametrize(
+    "feature",
+    ["joins", "subqueries", "grouping_sets", "windows", "set_ops", "case_expressions"],
+)
+def test_fuzz_feature_format_parse_fixed_point(feature):
+    from repro.fuzz.grammar import FeatureMask, generate_case
+    from repro.sql.formatter import format_statement
+    from repro.sql.parser import parse_statement
+
+    mask = FeatureMask.only(feature, "order_limit")
+    for seed in range(25):
+        statement = generate_case(seed, mask).statement
+        once = format_statement(statement)
+        assert format_statement(parse_statement(once)) == once, once
