@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.connectors.hashing import stable_hash
+from repro.exec import kernels
 from repro.exec.operator import Operator
 from repro.exec.operators.sorting import sort_rows
 from repro.exec.page import Page, page_from_rows
@@ -161,9 +162,21 @@ class ExchangeSinkOperator(Operator):
         if count == 1:
             buffer.add(0, page)
             return
+        key_blocks = [page.block(c) for c in self.partition_channels]
+        hashes = kernels.hash_rows(key_blocks, page.row_count)
+        if hashes is not None:
+            # Batch hash % count, grouped with a stable argsort; bit-exact
+            # with the scalar stable_hash below (sinks on different paths
+            # feeding one consumer must agree on partitions).
+            for partition, positions in enumerate(
+                kernels.partition_positions(hashes, count)
+            ):
+                if len(positions):
+                    buffer.add(partition, page.copy_positions(positions))
+            return
         assignments: list[list[int]] = [[] for _ in range(count)]
-        key_columns = [page.block(c).to_values() for c in self.partition_channels]
-        for row in range(page.row_count):
+        key_columns = [block.to_values() for block in key_blocks]
+        for row in range(page.row_count):  # row-path: object-typed partition keys
             key = tuple(col[row] for col in key_columns)
             assignments[stable_hash(key) % count].append(row)
         for partition, positions in enumerate(assignments):

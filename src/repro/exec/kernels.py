@@ -1,0 +1,506 @@
+"""Vectorized hash kernels shared by the hash-heavy operators.
+
+The paper's engine lives in its hash paths — hash aggregation, hash
+joins, and partitioned shuffles (Sec. V). Row-at-a-time dispatch over
+``Block.to_values()`` lists is the "much too slow" interpretation the
+codegen section (Sec. V-B) warns about, so this module provides the
+columnar batch-at-a-time equivalents:
+
+- :func:`factorize` — map N rows x K primitive key columns to dense
+  local group ids (plus each group's first-occurrence position), the
+  building block for hash aggregation, DISTINCT, and semi joins.
+- :class:`VectorMultiMap` — a join build table over primitive keys:
+  build rows sorted by key hash, probed in one batch per page with
+  ``np.searchsorted`` and verified with exact vectorized compares.
+- :func:`hash_rows` — batch evaluation of
+  :func:`repro.connectors.hashing.stable_hash` over whole pages, used
+  by the shuffle partitioner (must agree bit-for-bit with the scalar
+  hash: two sinks feeding one consumer may take different paths).
+
+Null / NaN / numeric-equality contract (must match the row path, which
+keys python dicts with value tuples):
+
+- NULL keys hash to their own per-column code; a NULL group key is a
+  normal group, but NULL join keys never match (callers exclude them).
+- ``-0.0`` and ``0.0`` are the same key (normalized before bitcasting).
+- NaN never equals anything, including itself: each NaN row becomes its
+  own group, and NaN join keys never match.
+- ``True == 1`` and ``False == 0`` across boolean/integer columns, and
+  integers equal their exact float representations across sides of a
+  join (non-representable values simply never match).
+
+Object-typed columns (varchar, arrays, partial-aggregation state) have
+no numpy encoding; every entry point returns ``None`` for them and the
+caller falls back to the sanctioned row path. The same fallback can be
+forced globally (``REPRO_KERNELS=row`` or :func:`set_mode`) so the
+differential fuzzer can compare both paths.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.connectors.hashing import stable_hash
+from repro.exec.blocks import (
+    Block,
+    DictionaryBlock,
+    LazyBlock,
+    ObjectBlock,
+    PrimitiveBlock,
+    RunLengthBlock,
+)
+from repro.types import BOOLEAN, DOUBLE
+
+_MASK63 = np.uint64(0x7FFFFFFFFFFFFFFF)
+_MURMUR_C = np.uint64(0xFF51AFD7ED558CCD)
+_FLOAT_SCALE = 1_000_003
+
+# --------------------------------------------------------------------------
+# Mode control (vector by default; REPRO_KERNELS=row forces the scalar
+# fallback everywhere, which the fuzz runner uses as a differential
+# configuration).
+# --------------------------------------------------------------------------
+
+VECTOR = "vector"
+ROW = "row"
+
+_mode = os.environ.get("REPRO_KERNELS", VECTOR).strip().lower() or VECTOR
+
+
+def get_mode() -> str:
+    return _mode
+
+
+def set_mode(mode: str) -> None:
+    global _mode
+    if mode not in (VECTOR, ROW):
+        raise ValueError(f"unknown kernel mode {mode!r} (expected 'vector' or 'row')")
+    _mode = mode
+
+
+def enabled() -> bool:
+    """True when operators should attempt the vectorized kernels."""
+    return _mode == VECTOR
+
+
+@contextmanager
+def forced_mode(mode: str):
+    """Temporarily force a kernel mode (fuzz runner / benchmarks)."""
+    previous = get_mode()
+    set_mode(mode)
+    try:
+        yield
+    finally:
+        set_mode(previous)
+
+
+# --------------------------------------------------------------------------
+# Block -> numpy extraction
+# --------------------------------------------------------------------------
+
+#: kind codes: 'i' = int64 (bigint/integer/date/timestamp), 'f' = float64,
+#: 'b' = boolean. Object columns have no kind.
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def primitive_arrays(block: Block) -> Optional[tuple[np.ndarray, np.ndarray, str]]:
+    """Return ``(values, nulls, kind)`` for numpy-representable blocks.
+
+    Dictionary/RLE/lazy wrappings are decoded; object columns return
+    ``None`` (caller falls back to the row path).
+    """
+    if isinstance(block, LazyBlock):
+        return primitive_arrays(block.load())
+    if isinstance(block, PrimitiveBlock):
+        if block.type is BOOLEAN:
+            kind = "b"
+        elif block.type is DOUBLE:
+            kind = "f"
+        else:
+            kind = "i"
+        return block.values, block.nulls, kind
+    if isinstance(block, DictionaryBlock):
+        inner = primitive_arrays(block.dictionary)
+        if inner is None:
+            return None
+        values, nulls, kind = inner
+        indices = block.indices
+        clipped = np.clip(indices, 0, None)
+        if len(values) == 0:
+            # All indices must be -1 (null) for an empty dictionary.
+            n = len(indices)
+            dtype = {"b": np.bool_, "f": np.float64, "i": np.int64}[kind]
+            return np.zeros(n, dtype=dtype), np.ones(n, dtype=np.bool_), kind
+        return values[clipped], (indices < 0) | nulls[clipped], kind
+    if isinstance(block, RunLengthBlock):
+        n = len(block)
+        value = block.value
+        if value is None:
+            return np.zeros(n, dtype=np.int64), np.ones(n, dtype=np.bool_), "i"
+        if isinstance(value, bool):
+            return np.full(n, value, dtype=np.bool_), np.zeros(n, dtype=np.bool_), "b"
+        if isinstance(value, int):
+            if not (-(2**63) <= value < 2**63):
+                return None
+            return np.full(n, value, dtype=np.int64), np.zeros(n, dtype=np.bool_), "i"
+        if isinstance(value, float):
+            return np.full(n, value, dtype=np.float64), np.zeros(n, dtype=np.bool_), "f"
+        return None
+    return None
+
+
+def key_arrays(
+    blocks: Sequence[Block],
+) -> Optional[list[tuple[np.ndarray, np.ndarray, str]]]:
+    """primitive_arrays for every block, or None if any column is object."""
+    out = []
+    for block in blocks:
+        arrays = primitive_arrays(block)
+        if arrays is None:
+            return None
+        out.append(arrays)
+    return out
+
+
+def _canonical_codes(values: np.ndarray, kind: str) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """Exact int64 code per value plus a NaN mask for float columns.
+
+    Codes are chosen so code equality == python value equality within
+    and across primitive kinds handled by :func:`_align_kinds`:
+    booleans use 0/1 (``True == 1``), floats normalize ``-0.0`` and
+    bitcast (NaN handled by the mask).
+    """
+    if kind == "f":
+        normalized = values + 0.0  # -0.0 + 0.0 == 0.0
+        return normalized.view(np.int64), np.isnan(values)
+    return values.astype(np.int64, copy=False), None
+
+
+# --------------------------------------------------------------------------
+# Factorize: rows -> dense local group ids
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Factorization:
+    """Dense group ids for one page, in first-occurrence order.
+
+    ``group_ids[row]`` is the local group of each row; group ``g`` first
+    appears at row ``first_positions[g]`` (ascending), matching the
+    insertion order a row-at-a-time dict build would produce. Rows whose
+    keys contain NaN get singleton groups (NaN never equals NaN).
+    """
+
+    group_ids: np.ndarray  # int64, one per row
+    group_count: int
+    first_positions: np.ndarray  # int64, one per group, strictly ascending
+
+
+def factorize(blocks: Sequence[Block], row_count: int) -> Optional[Factorization]:
+    """Group rows by exact key equality; None when any column is object.
+
+    An empty ``blocks`` sequence means a single global group (zero-key
+    aggregation).
+    """
+    if not enabled():
+        return None
+    if not blocks:
+        if row_count == 0:
+            return Factorization(
+                np.empty(0, dtype=np.int64), 0, np.empty(0, dtype=np.int64)
+            )
+        return Factorization(
+            np.zeros(row_count, dtype=np.int64), 1, np.zeros(1, dtype=np.int64)
+        )
+    columns = key_arrays(blocks)
+    if columns is None:
+        return None
+    combined: Optional[np.ndarray] = None
+    nan_any: Optional[np.ndarray] = None
+    for values, nulls, kind in columns:
+        codes, nan_mask = _canonical_codes(values, kind)
+        if nan_mask is not None:
+            nan_any = nan_mask if nan_any is None else (nan_any | nan_mask)
+        uniq, inverse = np.unique(codes, return_inverse=True)
+        inverse = inverse.astype(np.int64, copy=False).reshape(-1)
+        if nulls.any():
+            inverse = inverse.copy()
+            inverse[nulls] = len(uniq)  # nulls are their own per-column code
+        cardinality = len(uniq) + 1
+        if combined is None:
+            combined = inverse
+        else:
+            # Exact (collision-free) combine: the previous step's codes are
+            # dense, so combined * cardinality + inverse is injective.
+            combined = combined * cardinality + inverse
+            combined = np.unique(combined, return_inverse=True)[1]
+            combined = combined.astype(np.int64, copy=False).reshape(-1)
+    assert combined is not None
+    if nan_any is not None and nan_any.any():
+        combined = combined.copy()
+        base = np.int64(0 if len(combined) == 0 else combined.max() + 1)
+        combined[nan_any] = base + np.arange(int(nan_any.sum()), dtype=np.int64)
+    _, first_index, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    inverse = inverse.astype(np.int64, copy=False).reshape(-1)
+    # np.unique orders groups by code value; renumber in first-seen order.
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order), dtype=np.int64)
+    return Factorization(rank[inverse], len(order), first_index[order])
+
+
+def key_tuples(blocks: Sequence[Block], positions: np.ndarray) -> list[tuple]:
+    """Materialize representative key tuples (python values, row-path
+    compatible) for the given positions."""
+    return [tuple(block.get(int(p)) for block in blocks) for p in positions]
+
+
+def group_reduce(
+    group_ids: np.ndarray, values: np.ndarray, group_count: int, ufunc
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group ``ufunc`` reduction (sort + reduceat, no ufunc.at).
+
+    Returns ``(result, touched)``: result[g] is the reduction over the
+    group's values (unspecified where ``touched[g]`` is False).
+    """
+    counts = np.bincount(group_ids, minlength=group_count)
+    touched = counts > 0
+    if not len(values):
+        return np.zeros(group_count, dtype=values.dtype), touched
+    order = np.argsort(group_ids, kind="stable")
+    sorted_values = values[order]
+    starts = np.zeros(group_count, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    # reduceat requires valid start indices; clamp empty groups onto an
+    # arbitrary position and mask them out via ``touched``.
+    safe_starts = np.minimum(starts, len(sorted_values) - 1)
+    result = ufunc.reduceat(sorted_values, safe_starts)
+    return result, touched
+
+
+# --------------------------------------------------------------------------
+# Join multimap
+# --------------------------------------------------------------------------
+
+
+def _mix_hashes(code_columns: list[np.ndarray]) -> np.ndarray:
+    """Internal (non-stable) hash combine for multimap bucketing.
+
+    Collisions only cost verification work — matches are confirmed with
+    exact code compares.
+    """
+    h = np.zeros(len(code_columns[0]), dtype=np.uint64) if code_columns else None
+    assert h is not None
+    for codes in code_columns:
+        u = codes.view(np.uint64)
+        u = (u ^ (u >> np.uint64(33))) * _MURMUR_C
+        h = h * np.uint64(31) + (u ^ (u >> np.uint64(29)))
+    return h
+
+
+def _align_kinds(
+    probe_codes: np.ndarray,
+    probe_kind: str,
+    probe_values: np.ndarray,
+    build_kind: str,
+) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """Re-encode probe codes into the build column's code space.
+
+    Returns ``(codes, unmatchable)`` where ``unmatchable`` marks probe
+    rows that cannot equal any build value (e.g. an integer with no
+    exact float64 representation probing a double column). Boolean and
+    integer columns already share a code space (``True == 1``).
+    """
+    if probe_kind == build_kind or {probe_kind, build_kind} == {"i", "b"}:
+        return probe_codes, None
+    if build_kind == "f":
+        # int/bool probe into a float build: match exact representations.
+        as_float = probe_codes.astype(np.float64)
+        with np.errstate(invalid="ignore"):
+            in_range = np.abs(as_float) < float(2**63)
+        roundtrip = np.where(in_range, as_float, 0.0).astype(np.int64)
+        unmatchable = ~(in_range & (roundtrip == probe_codes))
+        return _canonical_codes(as_float, "f")[0], unmatchable
+    # float probe into an int/bool build: match integral in-range floats.
+    floats = probe_values
+    with np.errstate(invalid="ignore"):
+        integral = np.isfinite(floats) & (np.trunc(floats) == floats)
+        in_range = integral & (np.abs(floats) < float(2**63))
+    as_int = np.where(in_range, floats, 0.0).astype(np.int64)
+    back = as_int.astype(np.float64)
+    exact = in_range & (back == np.where(in_range, floats, 0.0))
+    return as_int, ~exact
+
+
+class VectorMultiMap:
+    """Build-side of a hash join over primitive keys.
+
+    Valid (non-NULL, non-NaN) build rows are sorted by key hash; a probe
+    page is matched in one batch: ``searchsorted`` finds each probe
+    hash's candidate run, candidates are expanded with ``repeat``/
+    ``cumsum`` arithmetic, and exact per-column code compares drop
+    collisions. Emission order matches the row path: probe rows
+    ascending, build rows ascending within a probe row.
+    """
+
+    def __init__(
+        self,
+        hashes: np.ndarray,
+        positions: np.ndarray,
+        code_columns: list[np.ndarray],
+        kinds: list[str],
+        build_row_count: int,
+    ):
+        self.hashes = hashes
+        self.positions = positions
+        self.code_columns = code_columns
+        self.kinds = kinds
+        self.build_row_count = build_row_count
+
+    @classmethod
+    def build(cls, blocks: Sequence[Block], row_count: int) -> Optional["VectorMultiMap"]:
+        if not enabled() or not blocks:
+            return None
+        columns = key_arrays(blocks)
+        if columns is None:
+            return None
+        valid = np.ones(row_count, dtype=np.bool_)
+        code_columns: list[np.ndarray] = []
+        kinds: list[str] = []
+        for values, nulls, kind in columns:
+            codes, nan_mask = _canonical_codes(values, kind)
+            valid &= ~nulls  # SQL equi-joins never match NULL keys
+            if nan_mask is not None:
+                valid &= ~nan_mask  # NaN never equals NaN
+            code_columns.append(codes)
+            kinds.append(kind)
+        positions = np.flatnonzero(valid).astype(np.int64)
+        codes_valid = [codes[positions] for codes in code_columns]
+        hashes = _mix_hashes(codes_valid) if len(positions) else np.empty(0, np.uint64)
+        order = np.argsort(hashes, kind="stable")
+        return cls(
+            hashes[order],
+            positions[order],
+            [codes[order] for codes in codes_valid],
+            kinds,
+            row_count,
+        )
+
+    def probe(
+        self, blocks: Sequence[Block], row_count: int
+    ) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """Match one probe page: ``(probe_rows, build_rows)`` arrays.
+
+        NULL/NaN/unrepresentable probe keys produce no pairs (outer-join
+        callers emit those rows with NULL build columns). Returns None
+        when the probe keys are object-typed (caller falls back).
+        """
+        if not enabled():
+            return None
+        columns = key_arrays(blocks)
+        if columns is None:
+            return None
+        valid = np.ones(row_count, dtype=np.bool_)
+        probe_codes: list[np.ndarray] = []
+        for (values, nulls, kind), build_kind in zip(columns, self.kinds):
+            codes, nan_mask = _canonical_codes(values, kind)
+            valid &= ~nulls
+            if nan_mask is not None:
+                valid &= ~nan_mask
+            codes, unmatchable = _align_kinds(codes, kind, values, build_kind)
+            if unmatchable is not None:
+                valid &= ~unmatchable
+            probe_codes.append(codes)
+        empty = np.empty(0, dtype=np.int64)
+        probe_rows = np.flatnonzero(valid).astype(np.int64)
+        if not len(probe_rows) or not len(self.hashes):
+            return empty, empty
+        codes_valid = [codes[probe_rows] for codes in probe_codes]
+        hashes = _mix_hashes(codes_valid)
+        left = np.searchsorted(self.hashes, hashes, side="left")
+        right = np.searchsorted(self.hashes, hashes, side="right")
+        counts = right - left
+        total = int(counts.sum())
+        if total == 0:
+            return empty, empty
+        probe_sel = np.repeat(np.arange(len(probe_rows), dtype=np.int64), counts)
+        run_starts = np.zeros(len(probe_rows), dtype=np.int64)
+        np.cumsum(counts[:-1], out=run_starts[1:])
+        offsets = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(run_starts, counts)
+            + np.repeat(left, counts)
+        )
+        keep = np.ones(total, dtype=np.bool_)
+        for build_codes, codes in zip(self.code_columns, codes_valid):
+            keep &= build_codes[offsets] == codes[probe_sel]
+        return probe_rows[probe_sel[keep]], self.positions[offsets[keep]]
+
+
+# --------------------------------------------------------------------------
+# Stable-hash partitioning (shuffle)
+# --------------------------------------------------------------------------
+
+
+def _murmur_int64(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``stable_hash`` for int64 values (bit-exact)."""
+    v = values ^ (values >> np.int64(33))  # arithmetic shift, as python's >>
+    u = v.astype(np.uint64) * _MURMUR_C  # wraps mod 2**64 == python's mask
+    return (u ^ (u >> np.uint64(33))) & _MASK63
+
+
+def hash_rows(blocks: Sequence[Block], row_count: int) -> Optional[np.ndarray]:
+    """Batch ``stable_hash(tuple(row))`` over the given key blocks.
+
+    Bit-exact with the scalar function — mandatory, because two sinks
+    feeding the same consumer stage may take different paths (one page
+    primitive, another object-typed) and must agree on partitions. Rows
+    whose float keys overflow the int64 fast path are rehashed through
+    the scalar function (preserving its exact behavior, exceptions
+    included). Returns None for object-typed keys.
+    """
+    if not enabled():
+        return None
+    columns = key_arrays(blocks)
+    if columns is None:
+        return None
+    h = np.full(row_count, 17, dtype=np.uint64)
+    fallback: Optional[np.ndarray] = None
+    for values, nulls, kind in columns:
+        if kind == "b":
+            column_hash = np.where(values, np.uint64(1), np.uint64(2))
+        elif kind == "f":
+            # stable_hash(float) == stable_hash(int(value * 1_000_003))
+            scaled = values * float(_FLOAT_SCALE)
+            with np.errstate(invalid="ignore"):
+                ok = np.isfinite(scaled) & (np.abs(scaled) < float(2**63))
+            bad = ~ok & ~nulls
+            if bad.any():
+                fallback = bad if fallback is None else (fallback | bad)
+            as_int = np.where(ok, scaled, 0.0).astype(np.int64)
+            column_hash = _murmur_int64(as_int)
+        else:
+            column_hash = _murmur_int64(values.astype(np.int64, copy=False))
+        if nulls.any():
+            column_hash = np.where(nulls, np.uint64(0), column_hash)
+        h = (h * np.uint64(31) + column_hash) & _MASK63
+    if fallback is not None and fallback.any():
+        for row in np.flatnonzero(fallback):
+            key = tuple(block.get(int(row)) for block in blocks)
+            h[row] = stable_hash(key)
+    return h
+
+
+def partition_positions(hashes: np.ndarray, count: int) -> list[np.ndarray]:
+    """Group row positions by ``hash % count`` (row order preserved)."""
+    parts = (hashes % np.uint64(count)).astype(np.int64)
+    order = np.argsort(parts, kind="stable")
+    boundaries = np.searchsorted(parts[order], np.arange(count + 1))
+    return [order[boundaries[p] : boundaries[p + 1]] for p in range(count)]

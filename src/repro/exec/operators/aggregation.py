@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.errors import PrestoError
+from repro.exec import kernels
 from repro.exec.blocks import make_block, ObjectBlock
 from repro.exec.operator import AccumulatingOperator
 from repro.exec.page import DEFAULT_PAGE_ROWS, Page
@@ -29,6 +32,16 @@ class AggregatorSpec:
     output_type: Type
     distinct: bool = False
     filter_channel: Optional[int] = None
+
+
+#: Aggregates with a bulk numpy accumulation path (single primitive
+#: argument, or zero arguments for count(*)).
+_VECTORIZABLE = frozenset({"count", "count_if", "sum", "min", "max", "avg"})
+
+# Integer sums stay bit-exact in the float64 bincount path as long as no
+# per-group partial can exceed 2**53; larger inputs fall back to python
+# ints (arbitrary precision, like the row path).
+_EXACT_INT_SUM_BOUND = 2**53
 
 
 class HashAggregationOperator(AccumulatingOperator):
@@ -60,6 +73,169 @@ class HashAggregationOperator(AccumulatingOperator):
     # -- input ------------------------------------------------------------
 
     def accumulate(self, page: Page) -> None:
+        key_blocks = [page.block(c) for c in self.group_channels]
+        fact = kernels.factorize(key_blocks, page.row_count)
+        if fact is None:
+            self._accumulate_rows(page)
+            return
+        # Vector path: one dict probe per distinct key in the page, then
+        # group-id-array-driven accumulation per aggregator.
+        groups = self._groups
+        states_by_gid: list[list] = []
+        for key in kernels.key_tuples(key_blocks, fact.first_positions):
+            states = groups.get(key)
+            if states is None:
+                states = [self._new_state(agg) for agg in self.aggregators]
+                groups[key] = states
+                self._retained += self._group_bytes(key, states)
+            states_by_gid.append(states)
+        for i, agg in enumerate(self.aggregators):
+            self._accumulate_aggregator(
+                page, i, agg, fact.group_ids, fact.group_count, states_by_gid
+            )
+
+    def _accumulate_aggregator(
+        self,
+        page: Page,
+        index: int,
+        agg: AggregatorSpec,
+        gids: np.ndarray,
+        group_count: int,
+        states_by_gid: list[list],
+    ) -> None:
+        """Fold one page into one aggregator's per-group states, using
+        bulk numpy reductions when the aggregate and its argument allow."""
+        if (
+            self.step is AggregationStep.FINAL
+            or agg.distinct
+            or agg.function.signature.name not in _VECTORIZABLE
+            or len(agg.argument_channels) > 1
+        ):
+            self._accumulate_aggregator_rows(page, index, agg, gids, states_by_gid)
+            return
+        mask: Optional[np.ndarray] = None
+        if agg.filter_channel is not None:
+            arrays = kernels.primitive_arrays(page.block(agg.filter_channel))
+            if arrays is None:
+                self._accumulate_aggregator_rows(page, index, agg, gids, states_by_gid)
+                return
+            filter_values, filter_nulls, _ = arrays
+            mask = np.asarray(filter_values, dtype=np.bool_) & ~filter_nulls
+        name = agg.function.signature.name
+        if not agg.argument_channels:  # count(*)
+            rows = gids if mask is None else gids[mask]
+            self._merge_counts(index, np.bincount(rows, minlength=group_count),
+                               states_by_gid)
+            return
+        arrays = kernels.primitive_arrays(page.block(agg.argument_channels[0]))
+        if arrays is None:
+            self._accumulate_aggregator_rows(page, index, agg, gids, states_by_gid)
+            return
+        values, nulls, kind = arrays
+        valid = ~nulls if mask is None else (mask & ~nulls)
+        if name == "count":
+            self._merge_counts(index, np.bincount(gids[valid], minlength=group_count),
+                               states_by_gid)
+            return
+        if name == "count_if":
+            valid = valid & np.asarray(values, dtype=np.bool_)
+            self._merge_counts(index, np.bincount(gids[valid], minlength=group_count),
+                               states_by_gid)
+            return
+        group_rows = gids[valid]
+        vals = values[valid]
+        if name in ("sum", "avg"):
+            if name == "sum" and kind != "f" and len(vals):
+                bound = max(abs(int(vals.min())), abs(int(vals.max()))) * len(vals)
+                if bound >= _EXACT_INT_SUM_BOUND:
+                    self._accumulate_aggregator_rows(
+                        page, index, agg, gids, states_by_gid
+                    )
+                    return
+            sums = np.bincount(
+                group_rows, weights=vals.astype(np.float64), minlength=group_count
+            )
+            counts = np.bincount(group_rows, minlength=group_count)
+            for g in np.flatnonzero(counts):
+                states = states_by_gid[g]
+                state = states[index]
+                if name == "avg":
+                    states[index] = (state[0] + float(sums[g]), state[1] + int(counts[g]))
+                else:
+                    partial = float(sums[g]) if kind == "f" else int(sums[g])
+                    states[index] = partial if state is None else state + partial
+            return
+        # min / max
+        if kind == "f" and np.isnan(vals).any():
+            # np.minimum propagates NaN; the row path keeps NaN only when
+            # it was the first value seen. Preserve that order-dependence.
+            self._accumulate_aggregator_rows(page, index, agg, gids, states_by_gid)
+            return
+        if kind == "b":
+            vals = vals.astype(np.int64)
+        ufunc = np.minimum if name == "min" else np.maximum
+        partial, touched = kernels.group_reduce(group_rows, vals, group_count, ufunc)
+        for g in np.flatnonzero(touched):
+            value = partial[g]
+            value = (
+                bool(value) if kind == "b"
+                else float(value) if kind == "f"
+                else int(value)
+            )
+            states = states_by_gid[g]
+            state = states[index]
+            if state is None or (value < state if name == "min" else value > state):
+                states[index] = value
+
+    def _merge_counts(
+        self, index: int, counts: np.ndarray, states_by_gid: list[list]
+    ) -> None:
+        for g in np.flatnonzero(counts):
+            states = states_by_gid[g]
+            states[index] = states[index] + int(counts[g])
+
+    def _accumulate_aggregator_rows(
+        self,
+        page: Page,
+        index: int,
+        agg: AggregatorSpec,
+        gids: np.ndarray,
+        states_by_gid: list[list],
+    ) -> None:
+        """Per-row fallback for one aggregator, driven by group ids (no
+        per-row dict probes)."""
+        mask = (
+            page.block(agg.filter_channel).to_values()
+            if agg.filter_channel is not None
+            else None
+        )
+        arg_columns = [page.block(c).to_values() for c in agg.argument_channels]
+        final_step = self.step is AggregationStep.FINAL
+        function = agg.function
+        for row, g in enumerate(gids.tolist()):
+            if mask is not None and mask[row] is not True:
+                continue
+            states = states_by_gid[g]
+            if final_step:
+                partial = arg_columns[0][row]
+                if partial is not None:
+                    states[index] = function.combine(states[index], partial)
+                continue
+            args = tuple(col[row] for col in arg_columns)
+            if function.ignores_nulls and any(
+                a is None for a in args
+            ) and agg.argument_channels:
+                continue
+            if agg.distinct:
+                before = len(states[index])
+                states[index].add(args)
+                if len(states[index]) != before:
+                    self._retained += 16
+            else:
+                states[index] = function.add(states[index], *args)
+
+    def _accumulate_rows(self, page: Page) -> None:
+        """Whole-page fallback when the group keys are object-typed."""
         key_columns = [page.block(c).to_values() for c in self.group_channels]
         agg_columns = [
             [page.block(c).to_values() for c in agg.argument_channels]
@@ -73,13 +249,13 @@ class HashAggregationOperator(AccumulatingOperator):
         ]
         final_step = self.step is AggregationStep.FINAL
         groups = self._groups
-        for row in range(page.row_count):
+        for row in range(page.row_count):  # row-path: object-typed group keys
             key = tuple(col[row] for col in key_columns)
             states = groups.get(key)
             if states is None:
                 states = [self._new_state(agg) for agg in self.aggregators]
                 groups[key] = states
-                self._retained += 64 + 16 * len(states)
+                self._retained += self._group_bytes(key, states)
             for i, agg in enumerate(self.aggregators):
                 mask = filter_columns[i]
                 if mask is not None and mask[row] is not True:
@@ -95,9 +271,26 @@ class HashAggregationOperator(AccumulatingOperator):
                 ) and agg.argument_channels:
                     continue
                 if agg.distinct:
+                    before = len(states[i])
                     states[i].add(args)
+                    if len(states[i]) != before:
+                        self._retained += 16
                 else:
                     states[i] = agg.function.add(states[i], *args)
+
+    @staticmethod
+    def _group_bytes(key: tuple, states: list) -> int:
+        """Retained-memory charge for a new group: hash-table slot plus
+        the actual key widths (VARCHAR keys are not free)."""
+        size = 64 + 16 * len(states)
+        for value in key:
+            if isinstance(value, str):
+                size += 48 + len(value)
+            elif isinstance(value, (list, tuple, dict)):
+                size += 48 + 16 * len(value)
+            elif value is not None:
+                size += 16
+        return size
 
     def _new_state(self, agg: AggregatorSpec):
         if self.step is AggregationStep.FINAL:

@@ -16,7 +16,9 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.connectors.api import Index
+from repro.exec import kernels
 from repro.exec.blocks import Block, DictionaryBlock, ObjectBlock, make_block
+from repro.exec.kernels import VectorMultiMap
 from repro.exec.operator import Operator, StreamingOperator
 from repro.exec.page import DEFAULT_PAGE_ROWS, Page, concat_pages
 from repro.planner.nodes import JoinType
@@ -24,25 +26,62 @@ from repro.types import Type
 
 
 class JoinBridge:
-    """Hands the built lookup structure from build to probe pipeline."""
+    """Hands the built lookup structure from build to probe pipeline.
+
+    The build side publishes either a :class:`VectorMultiMap` (primitive
+    keys, batch probes) or a ``dict``-of-positions hash table (object
+    keys, row-at-a-time probes). When a multimap exists but a probe page
+    turns out to be object-typed, :meth:`lookup_dict` lazily derives the
+    equivalent dict so both paths see the same build rows.
+    """
 
     def __init__(self):
         self.ready = False
         self.hash_table: dict[tuple, list[int]] = {}
+        self.multimap: Optional[VectorMultiMap] = None
         self.pages: Optional[Page] = None  # build side, concatenated
         self.build_row_count = 0
         self.matched: Optional[np.ndarray] = None  # for RIGHT/FULL joins
+        self._key_channels: list[int] = []
+        self._dict_built = False
 
-    def set(self, hash_table: dict, page: Optional[Page], row_count: int) -> None:
+    def set(
+        self,
+        hash_table: dict,
+        page: Optional[Page],
+        row_count: int,
+        multimap: Optional[VectorMultiMap] = None,
+        key_channels: Sequence[int] = (),
+    ) -> None:
         self.hash_table = hash_table
+        self.multimap = multimap
         self.pages = page
         self.build_row_count = row_count
         self.matched = np.zeros(row_count, dtype=np.bool_)
+        self._key_channels = list(key_channels)
+        self._dict_built = multimap is None
         self.ready = True
+
+    def lookup_dict(self) -> dict[tuple, list[int]]:
+        """The dict view of the build side, derived on first use when the
+        build went through the vector path."""
+        if self._dict_built:
+            return self.hash_table
+        self._dict_built = True
+        table: dict[tuple, list[int]] = {}
+        if self.pages is not None:
+            key_columns = [self.pages.block(c).to_values() for c in self._key_channels]
+            for row in range(self.pages.row_count):  # row-path: dict view for object probes
+                key = tuple(col[row] for col in key_columns)
+                if any(k is None for k in key):
+                    continue  # SQL equi-joins never match NULL keys
+                table.setdefault(key, []).append(row)
+        self.hash_table = table
+        return table
 
 
 class HashBuildOperator(Operator):
-    """Build pipeline sink: accumulates the hash table."""
+    """Build pipeline sink: accumulates the lookup structure."""
 
     name = "HashBuild"
 
@@ -70,17 +109,26 @@ class HashBuildOperator(Operator):
             return
         self._finished = True
         combined = concat_pages(self._pages)
-        table: dict[tuple, list[int]] = {}
-        row_count = 0
+        row_count = combined.row_count if combined is not None else 0
+        multimap = None
         if combined is not None:
-            row_count = combined.row_count
+            multimap = VectorMultiMap.build(
+                [combined.block(c) for c in self.key_channels], row_count
+            )
+        if multimap is not None:
+            self.bridge.set(
+                {}, combined, row_count, multimap, key_channels=self.key_channels
+            )
+            return
+        table: dict[tuple, list[int]] = {}
+        if combined is not None:
             key_columns = [combined.block(c).to_values() for c in self.key_channels]
-            for row in range(row_count):
+            for row in range(row_count):  # row-path: object-typed join keys
                 key = tuple(col[row] for col in key_columns)
                 if any(k is None for k in key):
                     continue  # SQL equi-joins never match NULL keys
                 table.setdefault(key, []).append(row)
-        self.bridge.set(table, combined, row_count)
+        self.bridge.set(table, combined, row_count, key_channels=self.key_channels)
 
     def is_finished(self) -> bool:
         return self._finished
@@ -121,13 +169,56 @@ class LookupJoinOperator(StreamingOperator):
         return self.bridge.ready and super().needs_input()
 
     def process(self, page: Page) -> Optional[Page]:
-        bridge = self.bridge
-        table = bridge.hash_table
+        outer = self.join_type in (JoinType.LEFT, JoinType.FULL)
+        pairs = None
+        if self.bridge.multimap is not None:
+            pairs = self.bridge.multimap.probe(
+                [page.block(c) for c in self.probe_key_channels], page.row_count
+            )
+        if pairs is not None:
+            probe_positions, build_positions = self._expand_outer(page, pairs, outer)
+        else:
+            probe_positions, build_positions = self._probe_rows(page, outer)
+        if self.residual_filter is not None and len(probe_positions):
+            probe_positions, build_positions = self._apply_residual(
+                page, list(probe_positions), list(build_positions), outer
+            )
+        if not len(probe_positions):
+            return None
+        if self.join_type in (JoinType.RIGHT, JoinType.FULL):
+            build_idx = np.asarray(build_positions, dtype=np.int64)
+            self.bridge.matched[build_idx[build_idx >= 0]] = True
+        if self.join_type is JoinType.RIGHT:
+            # RIGHT joins emit only matched probe rows here; unmatched
+            # build rows are emitted at flush time.
+            pass
+        return self._build_page(page, probe_positions, build_positions)
+
+    def _expand_outer(
+        self, page: Page, pairs: tuple[np.ndarray, np.ndarray], outer: bool
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Splice NULL-extended rows for unmatched probes into the batch
+        match pairs, preserving probe-row order."""
+        probe_positions, build_positions = pairs
+        if not outer:
+            return probe_positions, build_positions
+        match_counts = np.bincount(probe_positions, minlength=page.row_count)
+        unmatched = np.flatnonzero(match_counts == 0)
+        if not len(unmatched):
+            return probe_positions, build_positions
+        probe_positions = np.concatenate([probe_positions, unmatched])
+        build_positions = np.concatenate(
+            [build_positions, np.full(len(unmatched), -1, dtype=np.int64)]
+        )
+        order = np.argsort(probe_positions, kind="stable")
+        return probe_positions[order], build_positions[order]
+
+    def _probe_rows(self, page: Page, outer: bool) -> tuple[list[int], list[int]]:
+        table = self.bridge.lookup_dict()
         key_columns = [page.block(c).to_values() for c in self.probe_key_channels]
         probe_positions: list[int] = []
         build_positions: list[int] = []
-        outer = self.join_type in (JoinType.LEFT, JoinType.FULL)
-        for row in range(page.row_count):
+        for row in range(page.row_count):  # row-path: object-typed probe keys
             key = tuple(col[row] for col in key_columns)
             matches = None if any(k is None for k in key) else table.get(key)
             if matches:
@@ -137,21 +228,7 @@ class LookupJoinOperator(StreamingOperator):
             elif outer:
                 probe_positions.append(row)
                 build_positions.append(-1)
-        if self.residual_filter is not None and probe_positions:
-            probe_positions, build_positions = self._apply_residual(
-                page, probe_positions, build_positions, outer
-            )
-        if not probe_positions:
-            return None
-        if self.join_type in (JoinType.RIGHT, JoinType.FULL):
-            for build_row in build_positions:
-                if build_row >= 0:
-                    bridge.matched[build_row] = True
-        if self.join_type is JoinType.RIGHT:
-            # RIGHT joins emit only matched probe rows here; unmatched
-            # build rows are emitted at flush time.
-            pass
-        return self._build_page(page, probe_positions, build_positions)
+        return probe_positions, build_positions
 
     def _apply_residual(self, page, probe_positions, build_positions, outer):
         probe_rows = [page.get_row(p) for p in probe_positions]
@@ -324,8 +401,18 @@ class SemiJoinBuildOperator(Operator):
 
     def add_input(self, page: Page) -> None:
         self.record_input(page)
-        columns = [page.block(c).to_values() for c in self.key_channels]
-        for row in range(page.row_count):
+        key_blocks = [page.block(c) for c in self.key_channels]
+        fact = kernels.factorize(key_blocks, page.row_count)
+        if fact is not None:
+            # One set insert per distinct key instead of one per row.
+            for key in kernels.key_tuples(key_blocks, fact.first_positions):
+                if any(k is None for k in key):
+                    self._has_null = True
+                else:
+                    self._values.add(key if len(key) > 1 else key[0])
+            return
+        columns = [block.to_values() for block in key_blocks]
+        for row in range(page.row_count):  # row-path: object-typed keys
             key = tuple(col[row] for col in columns)
             if any(k is None for k in key):
                 self._has_null = True
@@ -363,12 +450,27 @@ class SemiJoinOperator(StreamingOperator):
         return self.bridge.ready and super().needs_input()
 
     def process(self, page: Page) -> Optional[Page]:
-        columns = [page.block(c).to_values() for c in self.key_channels]
-        matches: list[Optional[bool]] = []
         lookup = self.bridge.values
         has_null = self.bridge.has_null
         multi = len(self.key_channels) > 1
-        for row in range(page.row_count):
+        key_blocks = [page.block(c) for c in self.key_channels]
+        fact = kernels.factorize(key_blocks, page.row_count)
+        if fact is not None:
+            # One membership probe per distinct key; broadcast by group id.
+            per_group: list[Optional[bool]] = []
+            for key in kernels.key_tuples(key_blocks, fact.first_positions):
+                if any(k is None for k in key):
+                    per_group.append(None)
+                    continue
+                probe = key if multi else key[0]
+                per_group.append(
+                    True if probe in lookup else (None if has_null else False)
+                )
+            matches = [per_group[g] for g in fact.group_ids.tolist()]
+            return page.append_column(ObjectBlock(matches))
+        columns = [block.to_values() for block in key_blocks]
+        matches = []
+        for row in range(page.row_count):  # row-path: object-typed keys
             key = tuple(col[row] for col in columns)
             if any(k is None for k in key):
                 matches.append(None)
@@ -403,7 +505,7 @@ class IndexJoinOperator(StreamingOperator):
 
     def process(self, page: Page) -> Optional[Page]:
         key_columns = [page.block(c).to_values() for c in self.probe_key_channels]
-        keys = [
+        keys = [  # row-path: connector Index.lookup takes python key tuples
             tuple(col[row] for col in key_columns) for row in range(page.row_count)
         ]
         results = self.index.lookup(keys)

@@ -34,7 +34,7 @@ class UnnestOperator(StreamingOperator):
         unnest_values = [
             page.block(channel).to_values() for channel, _ in self.unnest_channels
         ]
-        for row in range(page.row_count):
+        for row in range(page.row_count):  # row-path: unnest expands ARRAY/MAP objects
             replicated = tuple(page.block(c).get(row) for c in self.replicate_channels)
             expanded: list[list] = []
             for (channel, width), values in zip(self.unnest_channels, unnest_values):
@@ -92,6 +92,7 @@ class SampleOperator(StreamingOperator):
             return None
         if self.method == "SYSTEM":
             return page if self._draw() < self.fraction else None
+        # row-path: one RNG draw per row; draw order is part of the semantics
         positions = [i for i in range(page.row_count) if self._draw() < self.fraction]
         if not positions:
             return None

@@ -5,6 +5,7 @@ from __future__ import annotations
 import functools
 from typing import Optional, Sequence
 
+from repro.exec import kernels
 from repro.exec.blocks import ObjectBlock, make_block
 from repro.exec.operator import AccumulatingOperator, Operator, StreamingOperator
 from repro.exec.page import DEFAULT_PAGE_ROWS, Page, page_from_rows
@@ -146,10 +147,19 @@ class DistinctOperator(StreamingOperator):
     def process(self, page: Page) -> Optional[Page]:
         positions = []
         seen = self._seen
-        for i, row in enumerate(page.rows()):
-            if row not in seen:
-                seen.add(row)
-                positions.append(i)
+        fact = kernels.factorize(page.blocks, page.row_count)
+        if fact is not None:
+            # One set probe per distinct row in the page (page-local
+            # duplicates collapse in the factorization).
+            for g, key in enumerate(kernels.key_tuples(page.blocks, fact.first_positions)):
+                if key not in seen:
+                    seen.add(key)
+                    positions.append(int(fact.first_positions[g]))
+        else:
+            for i, row in enumerate(page.rows()):  # row-path: object-typed rows
+                if row not in seen:
+                    seen.add(row)
+                    positions.append(i)
         if not positions:
             return None
         if len(positions) == page.row_count:

@@ -27,8 +27,12 @@ class Page:
                 raise ValueError("row_count required for zero-column pages")
             row_count = len(self.blocks[0])
         self.row_count = row_count
-        for block in self.blocks:
-            assert len(block) == row_count, "ragged page"
+        for channel, block in enumerate(self.blocks):
+            if len(block) != row_count:
+                raise ValueError(
+                    f"ragged page: block {channel} has {len(block)} positions, "
+                    f"expected {row_count}"
+                )
 
     def __len__(self) -> int:
         return self.row_count

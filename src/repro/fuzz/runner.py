@@ -1,14 +1,17 @@
 """Multi-way agreement runner.
 
-Executes one fuzz case through five engine configurations and compares
+Executes one fuzz case through six engine configurations and compares
 every result against the reference oracle:
 
 1. ``interpreter`` — unoptimized plan, row-at-a-time interpreted
    expression evaluation (no compiler, no vectorization)
 2. ``compiled``    — unoptimized plan, compiled page processor
 3. ``optimized``   — full optimizer rules, local execution
-4. ``cluster``     — SimCluster: fragmented, scheduled, shuffled
-5. ``cluster_faults`` — SimCluster with transient transfer failures
+4. ``row_kernels`` — like ``optimized`` but with the vectorized hash
+   kernels (repro.exec.kernels) forced onto the scalar row path, so the
+   vector and row hash implementations are differentially tested
+5. ``cluster``     — SimCluster: fragmented, scheduled, shuffled
+6. ``cluster_faults`` — SimCluster with transient transfer failures
    plus a mid-query worker crash; the client retries per paper Sec. IV-G
 
 Errors are outcomes too: if the oracle raises, every configuration must
@@ -27,11 +30,19 @@ from repro.client.session import LocalEngine
 from repro.cluster import ClusterConfig, SimCluster
 from repro.connectors.memory import MemoryConnector
 from repro.errors import WorkerFailedError
+from repro.exec import kernels
 from repro.fuzz.grammar import FeatureMask, FuzzCase, TableSpec, generate_case
 from repro.fuzz.oracle import run_oracle
 from repro.types import BIGINT, DOUBLE, VARCHAR
 
-CONFIG_NAMES = ("interpreter", "compiled", "optimized", "cluster", "cluster_faults")
+CONFIG_NAMES = (
+    "interpreter",
+    "compiled",
+    "optimized",
+    "row_kernels",
+    "cluster",
+    "cluster_faults",
+)
 
 # The case currently (or most recently) executing. Deliberately NOT
 # cleared after a check: tests assert on check_case's result *after* it
@@ -215,6 +226,14 @@ def run_config(name: str, case_tables, sql: str) -> Outcome:
     if name == "optimized":
         engine = _local_engine(case_tables, optimize=True, interpreted=False)
         return _capture(lambda: engine.execute(sql).rows)
+    if name == "row_kernels":
+        engine = _local_engine(case_tables, optimize=True, interpreted=False)
+
+        def run_row_mode() -> list[tuple]:
+            with kernels.forced_mode(kernels.ROW):
+                return engine.execute(sql).rows
+
+        return _capture(run_row_mode)
     if name == "cluster":
         cluster = _cluster(case_tables, faults=False)
         return _capture(lambda: cluster.run_query(sql).rows())

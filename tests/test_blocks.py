@@ -128,8 +128,13 @@ def test_concat_pages():
 
 
 def test_ragged_page_rejected():
-    with pytest.raises(AssertionError):
+    with pytest.raises(ValueError, match="ragged page"):
         Page([make_block(BIGINT, [1]), make_block(BIGINT, [1, 2])])
+
+
+def test_ragged_page_rejected_with_explicit_row_count():
+    with pytest.raises(ValueError, match="ragged page: block 0 has 3"):
+        Page([make_block(BIGINT, [1, 2, 3])], row_count=2)
 
 
 def test_loaded_size_excludes_unloaded_lazy():

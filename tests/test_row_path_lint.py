@@ -1,0 +1,61 @@
+"""Style guard for the vectorized kernel layer.
+
+The hot operator files route primitive-typed pages through
+``repro.exec.kernels``; row-at-a-time loops over a whole page are only
+allowed as sanctioned fallbacks (object-typed keys, inherently scalar
+semantics) and must carry a ``# row-path:`` comment explaining why, on
+the loop line or within the two preceding lines.
+
+This keeps future edits from quietly reintroducing per-row hot loops —
+the regression the vectorization PR exists to prevent.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+HOT_FILES = [
+    "src/repro/exec/operators/aggregation.py",
+    "src/repro/exec/operators/joins.py",
+    "src/repro/exec/operators/sorting.py",
+    "src/repro/exec/operators/misc.py",
+    "src/repro/cluster/shuffle.py",
+]
+
+# A loop (or comprehension) iterating once per row of a page.
+ROW_LOOP = re.compile(r"for\s+\w+\s+in\s+range\([^)]*row_count[^)]*\)")
+SANCTION = re.compile(r"#\s*row-path")
+
+
+def _violations(path: Path) -> list[str]:
+    lines = path.read_text().splitlines()
+    bad = []
+    for i, line in enumerate(lines):
+        if not ROW_LOOP.search(line):
+            continue
+        window = lines[max(0, i - 2) : i + 1]
+        if any(SANCTION.search(w) for w in window):
+            continue
+        bad.append(f"{path.relative_to(REPO_ROOT)}:{i + 1}: {line.strip()}")
+    return bad
+
+
+@pytest.mark.parametrize("relpath", HOT_FILES)
+def test_no_unsanctioned_row_loops(relpath):
+    violations = _violations(REPO_ROOT / relpath)
+    assert not violations, (
+        "per-row loop in a vectorized hot path without a '# row-path:' "
+        "sanction comment:\n" + "\n".join(violations)
+    )
+
+
+def test_lint_catches_untagged_loop(tmp_path):
+    sample = tmp_path / "sample.py"
+    sample.write_text("for row in range(page.row_count):\n    pass\n")
+    # _violations uses paths relative to REPO_ROOT only for messages.
+    lines = sample.read_text().splitlines()
+    assert ROW_LOOP.search(lines[0])
+    assert not SANCTION.search(lines[0])
