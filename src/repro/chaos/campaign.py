@@ -1,0 +1,264 @@
+"""Deterministic chaos campaigns: concurrent queries + injected faults.
+
+A campaign takes one :class:`ChaosPlan` and plays it out on a fresh
+fault-tolerant SimCluster:
+
+1. The fuzz grammar's fixed-schema tables (``t0``/``t1``) are generated
+   from the plan seed and loaded once; queries come from consecutive
+   grammar seeds, so every campaign runs a different-but-reproducible
+   workload against shared data.
+2. Expected results are computed up front with the fuzz reference
+   oracle (errors are outcomes too, compared by class).
+3. Queries are submitted at staggered virtual times; crashes, degraded
+   workers, transient transfer failures, and duplicated deliveries are
+   injected from the same seeded PRNG.
+4. Every query's outcome is compared against the oracle:
+   ``normalize_rows`` equality for rows (float rounding + multiset
+   order), error-class equality for errors.
+
+With recovery enabled the acceptance bar is: at least
+``threshold`` (default 95%) of queries complete without query-level
+failure AND zero finished queries disagree with the oracle. With
+recovery disabled the same plan reproduces the paper's fail-the-query
+behaviour (Sec. IV-G) for queries touching the crashed node.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.catalog.metadata import Metadata
+from repro.cluster import ClusterConfig, FaultToleranceConfig, SimCluster
+from repro.connectors.memory import MemoryConnector
+from repro.errors import error_category
+from repro.fuzz.grammar import generate_case
+from repro.fuzz.oracle import run_oracle
+from repro.fuzz.runner import load_tables, normalize_rows
+
+
+@dataclass
+class ChaosPlan:
+    """One campaign's full specification; results are a pure function
+    of this object."""
+
+    seed: int = 0
+    queries: int = 8
+    worker_count: int = 4
+    # Faults: how many workers to crash (capped so at least
+    # ``min_survivors`` remain), when, and how many nodes to degrade.
+    crash_count: int = 1
+    crash_window_ms: tuple[float, float] = (0.5, 8.0)
+    min_survivors: int = 2
+    slow_worker_count: int = 1
+    slow_factor: float = 4.0
+    transient_failure_rate: float = 0.02
+    transfer_duplicate_rate: float = 0.02
+    # Memory pressure: when set, shrinks the per-node user memory limit
+    # so heavy queries are killed with ExceededMemoryLimitError (a
+    # deterministic, non-retryable kill — an acceptable outcome, never
+    # a correctness one).
+    per_node_memory_limit_bytes: Optional[int] = None
+    # Queries are submitted at uniform times in [0, submit_window_ms).
+    submit_window_ms: float = 20.0
+    recovery_enabled: bool = True
+    heartbeat_interval_ms: float = 50.0
+    heartbeat_timeout_ms: float = 200.0
+
+
+@dataclass
+class QueryReport:
+    seed: int
+    sql: str
+    expected: tuple
+    actual: tuple
+    state: str
+    error_category: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.actual == self.expected
+
+    @property
+    def mismatch(self) -> bool:
+        """Finished, but with rows that disagree with the oracle — the
+        one outcome chaos must never produce."""
+        return (
+            self.state == "finished"
+            and self.expected[0] == "rows"
+            and not self.ok
+        )
+
+
+@dataclass
+class CampaignReport:
+    plan: ChaosPlan
+    reports: list[QueryReport] = field(default_factory=list)
+    crashed_workers: list[str] = field(default_factory=list)
+    slowed_workers: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def survival_rate(self) -> float:
+        if not self.reports:
+            return 1.0
+        return sum(1 for r in self.reports if r.ok) / len(self.reports)
+
+    @property
+    def mismatches(self) -> list[QueryReport]:
+        return [r for r in self.reports if r.mismatch]
+
+    @property
+    def resource_kills(self) -> list[QueryReport]:
+        """Queries killed by deterministic resource limits (memory /
+        time) — acceptable under injected pressure, never retried."""
+        return [
+            r
+            for r in self.reports
+            if r.state == "failed" and r.error_category == "INSUFFICIENT_RESOURCES"
+        ]
+
+    def ok(self, threshold: float = 0.95) -> bool:
+        return not self.mismatches and self.survival_rate >= threshold
+
+    def summary(self) -> str:
+        failed = [r for r in self.reports if not r.ok]
+        lines = [
+            f"campaign seed={self.plan.seed}: {len(self.reports)} queries, "
+            f"survival {self.survival_rate:.0%}, "
+            f"{len(self.mismatches)} result mismatch(es); "
+            f"crashed {self.crashed_workers or 'none'}, "
+            f"slowed {self.slowed_workers or 'none'}, "
+            f"recovered {self.stats.get('ft.tasks_recovered', 0)} task(s), "
+            f"retried {self.stats.get('ft.transfers_retried', 0)} transfer(s), "
+            f"dropped {self.stats.get('chaos.duplicates_dropped', 0)} duplicate(s)"
+        ]
+        for r in failed:
+            lines.append(
+                f"  seed {r.seed} [{r.state}"
+                + (f"/{r.error_category}" if r.error_category else "")
+                + f"] expected {r.expected[0]}, got {r.actual[0]}: {r.sql[:100]}"
+            )
+        return "\n".join(lines)
+
+
+def _build_cluster(plan: ChaosPlan, tables) -> SimCluster:
+    memory_overrides = {}
+    if plan.per_node_memory_limit_bytes is not None:
+        memory_overrides["per_node_user_limit_bytes"] = plan.per_node_memory_limit_bytes
+    config = ClusterConfig(
+        worker_count=plan.worker_count,
+        **memory_overrides,
+        default_catalog="memory",
+        default_schema="default",
+        transient_failure_rate=plan.transient_failure_rate,
+        transfer_duplicate_rate=plan.transfer_duplicate_rate,
+        fault_tolerance=FaultToleranceConfig(
+            enabled=True,
+            task_recovery_enabled=plan.recovery_enabled,
+            heartbeat_interval_ms=plan.heartbeat_interval_ms,
+            heartbeat_timeout_ms=plan.heartbeat_timeout_ms,
+        ),
+    )
+    cluster = SimCluster(config)
+    connector = MemoryConnector()
+    load_tables(connector, tables)
+    cluster.register_catalog("memory", connector)
+    return cluster
+
+
+def run_campaign(plan: ChaosPlan) -> CampaignReport:
+    rng = random.Random(plan.seed * 0x9E3779B1 + 0xC0FFEE)
+    # Shared data: the grammar always emits t0/t1 with fixed schemas
+    # (only the rows vary by seed), so one seed's tables serve every
+    # query in the campaign.
+    tables = generate_case(plan.seed).tables
+    cases = [generate_case(plan.seed + 1 + i) for i in range(plan.queries)]
+
+    # Expected outcomes from the reference oracle.
+    metadata = Metadata()
+    oracle_connector = MemoryConnector()
+    load_tables(oracle_connector, tables)
+    metadata.register_catalog("memory", oracle_connector)
+    expected: list[tuple] = []
+    for case in cases:
+        try:
+            rows = run_oracle(metadata, case.sql)[1]
+            expected.append(("rows", tuple(normalize_rows(rows))))
+        except Exception as exc:
+            expected.append(("error", type(exc).__name__))
+
+    cluster = _build_cluster(plan, tables)
+    handles: list = [None] * len(cases)
+    submit_errors: list = [None] * len(cases)
+
+    def submit(index: int, sql: str) -> None:
+        try:
+            handles[index] = cluster.submit(sql)
+        except Exception as exc:
+            submit_errors[index] = exc
+
+    for i, case in enumerate(cases):
+        at = rng.uniform(0.0, plan.submit_window_ms)
+        cluster.sim.schedule(at, lambda i=i, sql=case.sql: submit(i, sql))
+
+    # Fault schedule: crashes first (capped to keep min_survivors),
+    # then degrade some survivors.
+    names = list(cluster.workers)
+    crash_count = max(0, min(plan.crash_count, plan.worker_count - plan.min_survivors))
+    victims = rng.sample(names, crash_count)
+    for name in victims:
+        at = rng.uniform(*plan.crash_window_ms)
+        cluster.sim.schedule(at, lambda n=name: cluster.crash_worker(n))
+    survivors = [n for n in names if n not in victims]
+    slowed = rng.sample(survivors, min(plan.slow_worker_count, len(survivors)))
+    for name in slowed:
+        at = rng.uniform(*plan.crash_window_ms)
+        cluster.sim.schedule(
+            at, lambda n=name: cluster.degrade_worker(n, plan.slow_factor)
+        )
+
+    cluster.run()
+
+    report = CampaignReport(plan, crashed_workers=victims, slowed_workers=slowed)
+    duplicates_dropped = 0
+    for i, case in enumerate(cases):
+        handle = handles[i]
+        if handle is None:
+            error = submit_errors[i]
+            actual = ("error", type(error).__name__ if error else "NotSubmitted")
+            state = "submit-failed"
+            category = error_category(error) if error else None
+        elif handle.state == "finished":
+            actual = ("rows", tuple(normalize_rows(handle.rows())))
+            state = "finished"
+            category = None
+            duplicates_dropped += sum(
+                client.duplicates_dropped
+                for stage in handle.stages.values()
+                for task in stage.tasks
+                for client in task.exchange_clients.values()
+            )
+        else:
+            actual = ("error", type(handle.error).__name__)
+            state = handle.state
+            category = error_category(handle.error)
+        report.reports.append(
+            QueryReport(case.seed, case.sql, expected[i], actual, state, category)
+        )
+    report.stats = cluster.stats_snapshot()
+    report.stats["chaos.duplicates_dropped"] = duplicates_dropped
+    return report
+
+
+def run_campaigns(
+    seed: int, campaigns: int, **plan_overrides
+) -> list[CampaignReport]:
+    """Run ``campaigns`` independent campaigns at consecutive seeds
+    (each gets fresh tables, queries, and fault schedule)."""
+    reports = []
+    for i in range(campaigns):
+        plan = ChaosPlan(seed=seed + i * 1000, **plan_overrides)
+        reports.append(run_campaign(plan))
+    return reports

@@ -15,5 +15,6 @@ virtual clock. See DESIGN.md ("real execution, simulated time").
 """
 
 from repro.cluster.cluster import SimCluster, ClusterConfig
+from repro.cluster.fault import FaultToleranceConfig
 
-__all__ = ["SimCluster", "ClusterConfig"]
+__all__ = ["SimCluster", "ClusterConfig", "FaultToleranceConfig"]

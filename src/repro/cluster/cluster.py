@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 from repro.catalog.metadata import Metadata
 from repro.cluster.cost import CostModel
+from repro.cluster.fault import FailureDetector, FaultToleranceConfig, RetryPolicy
 from repro.cluster.query import QueryExecution
 from repro.cluster.sim import Simulation
 from repro.cluster.task import SimTask
@@ -62,9 +63,20 @@ class ClusterConfig:
     writer_scaling_enabled: bool = True
     writer_scaling_utilization_threshold: float = 0.5
     # Transient shuffle failures are retried at a low level (Sec. IV-G)
-    # without failing the query; rate is per transfer.
+    # without failing the query; rate is per delivery attempt. Retry
+    # pacing comes from fault_tolerance.transfer_backoff_* (bounded
+    # exponential backoff); attempts are capped at
+    # fault_tolerance.transfer_max_attempts, after which the transfer
+    # escalates to task recovery / query failure.
     transient_failure_rate: float = 0.0
-    transient_retry_delay_ms: float = 5.0
+    # Chaos knob: probability that an accepted delivery is delivered a
+    # second time (consumer-side dedup must drop the copy).
+    transfer_duplicate_rate: float = 0.0
+    # Fault tolerance: heartbeat failure detection, task-level recovery,
+    # retry policy, query timeouts (see repro.cluster.fault).
+    fault_tolerance: FaultToleranceConfig = field(
+        default_factory=FaultToleranceConfig
+    )
     # Cost model.
     cost_mode: str = "deterministic"
     speed_factor: float = 1.0
@@ -113,6 +125,19 @@ class SimCluster:
         self._memory_blocked_tasks: list[SimTask] = []
         self.network_bytes = 0
         self.transient_retries = 0
+        # Fault-tolerance counters (Sec. IV-G).
+        self.tasks_recovered = 0
+        self.transfers_escalated = 0
+        self.transfer_duplicates_injected = 0
+        self.queries_timed_out = 0
+        self.detector = FailureDetector(
+            self.sim,
+            self.workers,
+            self.config.fault_tolerance,
+            self._on_worker_detected_dead,
+            self._has_active_work,
+        )
+        self.retry_policy = RetryPolicy(self.config.fault_tolerance)
         # Deterministic PRNG for fault injection.
         self._fault_state = 0x9E3779B97F4A7C15
         from repro.exec.spill import SpillContext
@@ -125,15 +150,24 @@ class SimCluster:
 
     @property
     def coordinator_worker(self) -> Worker:
-        # Single-task stages run on the first live worker.
+        # Single-task stages run on the first believed-live worker (the
+        # coordinator only knows what the failure detector told it).
         for worker in self.workers.values():
-            if worker.alive:
+            if self.detector.believes_alive(worker.name):
                 return worker
         raise PrestoError("No live workers in the cluster")
 
     @property
     def worker_hosts(self) -> list[str]:
-        return [w.name for w in self.workers.values() if w.alive]
+        return [
+            w.name
+            for w in self.workers.values()
+            if self.detector.believes_alive(w.name)
+        ]
+
+    def live_workers(self) -> list[Worker]:
+        """Workers the coordinator believes alive (placement view)."""
+        return self.detector.live_workers()
 
     def register_catalog(self, name: str, connector: Connector) -> None:
         self.metadata.register_catalog(name, connector)
@@ -178,7 +212,11 @@ class SimCluster:
         self.queries[query_id] = query
         self._admission_queue.append(query)
         self.sim.schedule(0.0, self._admit)
+        self.detector.ensure_running()
         return query
+
+    def _has_active_work(self) -> bool:
+        return self._running > 0 or bool(self._admission_queue)
 
     def _group_admissible(self, query: QueryExecution) -> bool:
         group = getattr(query, "resource_group", None)
@@ -247,7 +285,7 @@ class SimCluster:
 
     def _on_quantum_complete(self, worker: Worker, task: SimTask) -> None:
         query = self.queries.get(task.query_id)
-        if query is None or query.state != "running":
+        if query is None or query.state != "running" or task.superseded:
             return
         user_delta, system_delta = task.memory_deltas()
         if user_delta or system_delta:
@@ -301,28 +339,59 @@ class SimCluster:
     # -- faults (Sec. IV-G) ----------------------------------------------------------
 
     def crash_worker(self, name: str) -> list[str]:
-        """Crash a node: every query with a task there fails."""
+        """Crash a node; returns the ids of affected running queries.
+
+        With fault tolerance disabled (the default) this is the paper's
+        omniscient baseline: every query with a task there fails
+        immediately (Sec. IV-G) and clients are expected to retry. With
+        the heartbeat detector enabled it is pure fault injection — the
+        coordinator only learns of the death when heartbeats time out,
+        then recovers or fails the affected queries."""
         worker = self.workers[name]
         victims = worker.crash()
-        failed_queries = []
+        affected: list[str] = []
         for task in victims:
             query = self.queries.get(task.query_id)
-            if query is not None and query.state == "running":
+            if query is None or query.state != "running":
+                continue
+            if query.query_id not in affected:
+                affected.append(query.query_id)
+            if not self.config.fault_tolerance.enabled:
                 query.fail(
                     WorkerFailedError(f"Worker {name} failed while query was running")
                 )
-                failed_queries.append(query.query_id)
-        return failed_queries
+        self.detector.ensure_running()
+        return affected
+
+    def degrade_worker(self, name: str, slow_factor: float) -> None:
+        """Chaos injection: slow a node down (it stays alive)."""
+        self.workers[name].degrade(slow_factor)
+
+    def _on_worker_detected_dead(self, name: str) -> None:
+        """Heartbeat timeout fired: recover (or fail) affected queries,
+        then re-admit queued work against the shrunken cluster."""
+        for query in list(self.queries.values()):
+            if query.state == "running":
+                query.on_worker_dead(name)
+        self.sim.schedule(0.0, self._admit)
+
+    def _fault_draw(self) -> float:
+        self._fault_state = (
+            self._fault_state * 6364136223846793005 + 1442695040888963407
+        ) & 0xFFFFFFFFFFFFFFFF
+        return (self._fault_state >> 11) / float(1 << 53)
 
     def roll_transient_failure(self) -> bool:
         """Deterministic Bernoulli draw for transient transfer failures."""
         if self.config.transient_failure_rate <= 0:
             return False
-        self._fault_state = (
-            self._fault_state * 6364136223846793005 + 1442695040888963407
-        ) & 0xFFFFFFFFFFFFFFFF
-        draw = (self._fault_state >> 11) / float(1 << 53)
-        return draw < self.config.transient_failure_rate
+        return self._fault_draw() < self.config.transient_failure_rate
+
+    def roll_transfer_duplicate(self) -> bool:
+        """Deterministic Bernoulli draw for duplicated deliveries."""
+        if self.config.transfer_duplicate_rate <= 0:
+            return False
+        return self._fault_draw() < self.config.transfer_duplicate_rate
 
     # -- introspection -----------------------------------------------------------------
 
@@ -349,6 +418,13 @@ class SimCluster:
             "network.transient_retries": self.transient_retries,
             "spill.bytes": self.spill_context.bytes_spilled,
             "spill.events": self.spill_context.spill_events,
+            "ft.heartbeats_missed": self.detector.heartbeats_missed,
+            "ft.workers_detected_dead": len(self.detector.detected_dead),
+            "ft.tasks_recovered": self.tasks_recovered,
+            "ft.transfers_retried": self.transient_retries,
+            "ft.transfers_escalated": self.transfers_escalated,
+            "ft.transfer_duplicates_injected": self.transfer_duplicates_injected,
+            "ft.queries_timed_out": self.queries_timed_out,
         }
         for name, worker in self.workers.items():
             snapshot[f"worker.{name}.alive"] = worker.alive

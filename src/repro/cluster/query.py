@@ -6,6 +6,34 @@ worker, or pinned by split affinity for shared-nothing connectors),
 lazy split enumeration with shortest-queue assignment, all-at-once vs
 phased stage scheduling, the shuffle transfer service, and query
 lifecycle/result collection.
+
+Fault tolerance (Sec. IV-G, extended past the paper's fail-the-query
+baseline) lives here too: when ``FaultToleranceConfig.enabled`` is on,
+tasks lost to a detected worker death are deterministically re-executed
+on surviving workers. Three mechanisms make the re-execution exact:
+
+- **Split replay.** Every split assignment is journaled on the task
+  (``split_log``); a replacement replays the log in order, so a leaf
+  task regenerates bit-identical output.
+- **Exchange re-request.** Output buffers retain sent pages and number
+  them per partition; a replacement producer resumes its send cursor
+  past the deliveries its consumers already acknowledged, and consumers
+  drop any page whose sequence number they have seen (dedup), so
+  duplicated or re-sent transfers cannot change results.
+- **Delivery-order replay.** For a *replaced consumer*, per-page dedup
+  is not enough: operators like hash aggregation are sensitive to the
+  merged arrival order across producers (group insertion order). The
+  coordinator therefore logs, per (consumer stage, partition, remote
+  source), the exact sequence of accepted deliveries; a replacement
+  consumer is fed that log verbatim before normal pumping resumes.
+  Cross-client interleaving does not affect operator output (per-client
+  FIFO is preserved and pipelines consume one exchange at a time), so
+  logging per client is sufficient for bit-exact recovery.
+
+Transient transfer failures are retried with bounded exponential
+backoff and deterministic jitter (``RetryPolicy``); exhausting the
+budget escalates to task-level recovery, and only when that is
+impossible does the query fail.
 """
 
 from __future__ import annotations
@@ -15,7 +43,12 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.shuffle import OutputBuffer
 from repro.cluster.task import SimTask
-from repro.errors import PrestoError, WorkerFailedError
+from repro.errors import (
+    ExceededTimeLimitError,
+    PrestoError,
+    TransferFailedError,
+    WorkerFailedError,
+)
 from repro.exec.page import Page
 from repro.planner import nodes as plan
 from repro.planner.fragmenter import FragmentedPlan, PlanFragment
@@ -38,6 +71,16 @@ class _ScanSchedule:
     split_source: object
     done: bool = False
     assigned: int = 0
+
+
+@dataclass
+class _ReplayState:
+    """Progress through a delivery log being re-fed to a replaced
+    consumer. One delivery is in flight at a time: the log is a total
+    order and must be re-applied as one."""
+
+    pos: int = 0
+    inflight: bool = False
 
 
 class StageExecution:
@@ -89,12 +132,32 @@ class QueryExecution:
         self.state = "queued"
         # fragment id -> consuming (stage id, remote-source key)
         self._consumers: dict[int, tuple[int, tuple]] = {}
-        # (task_id, partition) transfer in-flight / eof bookkeeping
+        # In-flight transfers, per task *attempt*: (task_id, partition).
         self._transfer_inflight: set[tuple[str, int]] = set()
-        self._transfer_eof: set[tuple[str, int]] = set()
+        # Delivered/announced EOFs, per *logical* stream (stable across
+        # attempts): (producer_key, consumer_partition). Discarding a
+        # key cancels an in-flight EOF and allows a re-send — used when
+        # a replaced consumer must hear every EOF again.
+        self._transfer_eof: set[tuple[tuple[int, int], int]] = set()
         self._client_poll_scheduled = False
         self.writer_scale_ups = 0
         self.on_finish = None
+        # -- fault tolerance state -------------------------------------
+        ft = cluster.config.fault_tolerance
+        self._recovery_active = ft.enabled and ft.task_recovery_enabled
+        # (consumer_stage_id, partition, client_key) -> ordered list of
+        # (producer_key, seq) accepted by that consumer's client.
+        self._delivery_log: dict[tuple[int, int, tuple], list] = {}
+        # (producer_key, consumer_partition) -> accepted-delivery count
+        # (the resume point for a re-executed producer).
+        self._delivered_counts: dict[tuple[tuple[int, int], int], int] = {}
+        self._replays: dict[tuple[int, int, tuple], _ReplayState] = {}
+        # producer_key -> last attempt number handed out.
+        self._attempts: dict[tuple[int, int], int] = {}
+        self._task_retries = 0
+        self._root_deliveries = 0
+        self._timeout_event = None
+        self.tasks_recovered = 0
 
     # ------------------------------------------------------------------
     # Startup
@@ -103,6 +166,11 @@ class QueryExecution:
     def start(self) -> None:
         self.state = "running"
         self.started_at = self.cluster.sim.now
+        timeout = self.cluster.config.fault_tolerance.query_timeout_ms
+        if timeout is not None:
+            self._timeout_event = self.cluster.sim.schedule(
+                timeout, self._on_timeout
+            )
         try:
             self._create_stages()
         except Exception as exc:  # planning/placement failure
@@ -114,11 +182,30 @@ class QueryExecution:
             for stage in self.stages.values():
                 self._start_stage(stage)
 
+    def _on_timeout(self) -> None:
+        if self.state != "running":
+            return
+        self.cluster.queries_timed_out += 1
+        timeout = self.cluster.config.fault_tolerance.query_timeout_ms
+        self.fail(
+            ExceededTimeLimitError(
+                f"Query {self.query_id} exceeded the {timeout}ms time limit"
+            )
+        )
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+
     def _create_stages(self) -> None:
         cluster = self.cluster
         fragments = self.fragmented.fragments
-        # Determine task counts/placement per fragment.
-        live_workers = [w for w in cluster.workers.values() if w.alive]
+        # Determine task counts/placement per fragment. Placement uses
+        # the coordinator's *believed* liveness: a crashed-but-undetected
+        # worker can still receive tasks, which are then recovered once
+        # the heartbeat detector fires.
+        live_workers = cluster.live_workers()
         if not live_workers:
             raise PrestoError("No live workers in the cluster")
         placements: dict[int, list] = {}
@@ -163,6 +250,7 @@ class QueryExecution:
                     remote_source_symbols=remote_symbols,
                     cost_model=cluster.cost_model,
                     buffer_capacity=cluster.config.output_buffer_bytes,
+                    retain_output=self._recovery_active,
                 )
                 # Output pages become visible only when the producing
                 # quantum's virtual time completes (on_task_quantum), so
@@ -170,9 +258,13 @@ class QueryExecution:
                 if (
                     fragment.output_kind is plan.ExchangeKind.ROUND_ROBIN
                     and cluster.config.writer_scaling_enabled
+                    and not self._recovery_active
                 ):
                     # Adaptive writer scaling (Sec. IV-E3): start with one
-                    # active writer; scale up on buffer pressure.
+                    # active writer; scale up on buffer pressure. Pinned
+                    # off under task recovery: the adaptive routing is
+                    # timing-dependent, which would break deterministic
+                    # replay (see docs/FAULT_TOLERANCE.md).
                     task.output_buffer.active_partitions = 1
                     task.output_buffer.pressure_threshold = (
                         cluster.config.writer_scaling_utilization_threshold
@@ -332,7 +424,7 @@ class QueryExecution:
             candidates,
             key=lambda t: t.scan_operators[schedule.scan_index].queued_splits,
         )
-        target.scan_operators[schedule.scan_index].add_split(split)
+        target.add_split_to(schedule.scan_index, split)
         schedule.assigned += 1
         target.worker.kick(target)
 
@@ -341,6 +433,8 @@ class QueryExecution:
     # ------------------------------------------------------------------
 
     def _pump_transfers(self, task: SimTask, partition: int) -> None:
+        if self.state != "running" or task.superseded:
+            return
         key = (task.task_id, partition)
         if key in self._transfer_inflight:
             return
@@ -348,46 +442,127 @@ class QueryExecution:
         if consumer is None:
             self._schedule_client_poll()
             return
+        consumer_stage_id, client_key = consumer
+        replay_key = (consumer_stage_id, partition, client_key)
+        if replay_key in self._replays:
+            # A replaced consumer is being re-fed its delivery log;
+            # normal pumping resumes when the replay completes.
+            self._advance_replay(replay_key)
+            return
+        ft = self.cluster.config.fault_tolerance
+        if (
+            ft.enabled
+            and not task.worker.alive
+            and not task.output_buffer.is_drained(partition)
+        ):
+            # The node is down: its buffered output is unreachable.
+            # Recovery re-executes the task once the detector fires.
+            # (A fully drained stream is treated as durably spooled —
+            # only its EOF announcement may still need to go out.)
+            return
         delivery = task.output_buffer.poll(partition)
         if delivery is None:
-            if task.output_buffer.is_drained(partition) and key not in self._transfer_eof:
-                self._transfer_eof.add(key)
+            eof_key = (task.producer_key, partition)
+            if task.output_buffer.is_drained(partition) and eof_key not in self._transfer_eof:
+                self._transfer_eof.add(eof_key)
                 self._deliver_eof(task, partition)
             return
         self._transfer_inflight.add(key)
         cost = self.cluster.cost_model.transfer_ms(delivery.bytes)
         self.cluster.network_bytes += delivery.bytes
+        producer_key = task.producer_key
+        policy = self.cluster.retry_policy
+        attempt = 0
 
         def deliver() -> None:
+            nonlocal attempt
+            if self.state != "running":
+                return
             if self.cluster.roll_transient_failure():
-                # Transient shuffle error: retried at a low level without
-                # failing the query (Sec. IV-G).
+                # Transient shuffle error (Sec. IV-G): retried at a low
+                # level with bounded exponential backoff + deterministic
+                # jitter; exhausting the budget escalates.
+                attempt += 1
                 self.cluster.transient_retries += 1
+                if attempt >= policy.max_attempts:
+                    self._transfer_inflight.discard(key)
+                    self._escalate_transfer_failure(task, partition, delivery)
+                    return
                 self.cluster.sim.schedule(
-                    self.cluster.config.transient_retry_delay_ms, deliver
+                    policy.delay_ms((key, delivery.seq), attempt), deliver
                 )
                 return
             self._transfer_inflight.discard(key)
-            consumer_stage_id, client_key = consumer
             consumer_task = self.stages[consumer_stage_id].tasks[partition]
-            consumer_task.exchange_clients[client_key].deliver(delivery.page)
+            client = consumer_task.exchange_clients[client_key]
+            accepted = client.deliver(delivery.page, producer_key, delivery.seq)
+            if accepted and replay_key not in self._replays:
+                self._record_delivery(replay_key, producer_key, delivery.seq)
             consumer_task.worker.kick(consumer_task)
             # Space was freed on the producer: it may be unblocked now.
             task.worker.kick(task)
+            if accepted and self.cluster.roll_transfer_duplicate():
+                self._schedule_duplicate(
+                    consumer_stage_id, partition, client_key, producer_key, delivery
+                )
             self._pump_transfers(task, partition)
 
         self.cluster.sim.schedule(cost, deliver)
+
+    def _record_delivery(self, replay_key, producer_key, seq: int) -> None:
+        if not self._recovery_active:
+            return
+        self._delivery_log.setdefault(replay_key, []).append((producer_key, seq))
+        count_key = (producer_key, replay_key[1])
+        self._delivered_counts[count_key] = self._delivered_counts.get(count_key, 0) + 1
+
+    def _schedule_duplicate(
+        self, consumer_stage_id, partition, client_key, producer_key, delivery
+    ) -> None:
+        """Chaos injection: the network delivers the same page twice.
+        Consumer-side dedup must drop the copy."""
+        self.cluster.transfer_duplicates_injected += 1
+        cost = self.cluster.cost_model.transfer_ms(delivery.bytes)
+
+        def duplicate() -> None:
+            if self.state != "running":
+                return
+            consumer_task = self.stages[consumer_stage_id].tasks[partition]
+            client = consumer_task.exchange_clients[client_key]
+            client.deliver(delivery.page, producer_key, delivery.seq)
+            consumer_task.worker.kick(consumer_task)
+
+        self.cluster.sim.schedule(cost, duplicate)
+
+    def _escalate_transfer_failure(self, task: SimTask, partition: int, delivery) -> None:
+        """A transfer exhausted its retry budget: re-execute the
+        producing task if recovery allows; otherwise fail the query."""
+        self.cluster.transfers_escalated += 1
+        error = TransferFailedError(
+            f"Transfer from {task.task_id} (partition {partition}, seq "
+            f"{delivery.seq}) failed after "
+            f"{self.cluster.retry_policy.max_attempts} attempts"
+        )
+        if self.recover_tasks([task]):
+            return
+        self.fail(error)
 
     def _deliver_eof(self, task: SimTask, partition: int) -> None:
         consumer = self._consumers.get(task.fragment.id)
         if consumer is None:
             return
         consumer_stage_id, client_key = consumer
-        consumer_task = self.stages[consumer_stage_id].tasks[partition]
-        client = consumer_task.exchange_clients[client_key]
+        producer_key = task.producer_key
+        eof_key = (producer_key, partition)
 
         def eof() -> None:
-            client.producer_finished()
+            if self.state != "running":
+                return
+            if eof_key not in self._transfer_eof:
+                return  # cancelled: the consumer was replaced in flight
+            consumer_task = self.stages[consumer_stage_id].tasks[partition]
+            client = consumer_task.exchange_clients[client_key]
+            client.producer_finished(producer_key)
             consumer_task.worker.kick(consumer_task)
 
         self.cluster.sim.schedule(self.cluster.cost_model.network_latency_ms, eof)
@@ -398,15 +573,26 @@ class QueryExecution:
         if self._client_poll_scheduled or self.state != "running":
             return
         self._client_poll_scheduled = True
-        root_task = self.stages[self.fragmented.root_fragment.id].tasks[0]
+        root_fragment_id = self.fragmented.root_fragment.id
 
         def poll() -> None:
             self._client_poll_scheduled = False
             if self.state != "running":
                 return
+            # Look the root task up at fire time: it may have been
+            # replaced by recovery since this poll was scheduled.
+            root_task = self.stages[root_fragment_id].tasks[0]
+            ft = self.cluster.config.fault_tolerance
+            if (
+                ft.enabled
+                and not root_task.worker.alive
+                and not root_task.output_buffer.is_drained(0)
+            ):
+                return  # the root node died; wait for recovery
             delivery = root_task.output_buffer.poll(0)
             if delivery is not None:
                 self.result_pages.append(delivery.page)
+                self._root_deliveries += 1
                 root_task.worker.kick(root_task)
                 # Model client download bandwidth (slow BI clients hold
                 # buffers, Sec. IV-E2).
@@ -427,16 +613,234 @@ class QueryExecution:
         self.cluster.sim.schedule(0.1, poll)
 
     # ------------------------------------------------------------------
+    # Task-level recovery (lineage-style re-execution)
+    # ------------------------------------------------------------------
+
+    def on_worker_dead(self, worker_name: str) -> None:
+        """The failure detector declared ``worker_name`` dead: recover
+        the tasks placed there, or fail the query when recovery is off
+        or out of budget (the paper's Sec. IV-G baseline)."""
+        if self.state != "running":
+            return
+        lost = self.tasks_lost_on(worker_name)
+        if lost and not self.recover_tasks(lost):
+            self.fail(
+                WorkerFailedError(
+                    f"Worker {worker_name} failed while query was running"
+                )
+            )
+            return
+        # Drained tasks are not re-executed, but the quantum that would
+        # have announced their EOFs may have died with the node: sweep
+        # every partition so outstanding EOF announcements go out (they
+        # are coordinator-mediated metadata, idempotent to re-send).
+        for stage in self.stages.values():
+            for task in stage.tasks:
+                if task.worker.name != worker_name or task.superseded:
+                    continue
+                for p in range(task.output_buffer.partition_count):
+                    self._pump_transfers(task, p)
+
+    def tasks_lost_on(self, worker_name: str) -> list[SimTask]:
+        lost = []
+        for stage in self.stages.values():
+            for task in stage.tasks:
+                if task.worker.name != worker_name:
+                    continue
+                if task.is_finished() and task.output_drained():
+                    # Fully produced and fully acknowledged: the retained
+                    # stream is treated as durably spooled, so replay can
+                    # still re-request it after the node loss.
+                    continue
+                lost.append(task)
+        return lost
+
+    def recover_tasks(self, lost: list[SimTask]) -> bool:
+        """Re-execute the given tasks on surviving workers. Returns True
+        when every task was replaced (results will be bit-exact), False
+        when recovery is unavailable and the caller must fail the query."""
+        lost = [
+            t
+            for t in lost
+            if not t.superseded
+            and t.fragment.id in self.stages
+            and self.stages[t.fragment.id].tasks[t.partition] is t
+        ]
+        if not lost:
+            return True
+        ft = self.cluster.config.fault_tolerance
+        if not self._recovery_active:
+            return False
+        if self._task_retries + len(lost) > ft.max_task_retries_per_query:
+            return False
+        live = self.cluster.live_workers()
+        if not live:
+            return False
+        self._task_retries += len(lost)
+        replacements: list[tuple[SimTask, SimTask]] = []
+        for old in lost:
+            old.superseded = True
+            old.worker.remove_task(old)
+            old.fail()  # close drivers; late quanta are ignored
+            replacements.append((old, self._build_replacement(old, live)))
+        # Wire after *all* swaps so upstream/downstream lookups resolve
+        # to current attempts even when several tasks die together.
+        for old, new in replacements:
+            self._wire_replacement(old, new)
+        self.cluster.tasks_recovered += len(replacements)
+        self.tasks_recovered += len(replacements)
+        return True
+
+    def _build_replacement(self, old: SimTask, live: list) -> SimTask:
+        cluster = self.cluster
+        attempt = self._attempts.get(old.producer_key, old.attempt) + 1
+        self._attempts[old.producer_key] = attempt
+        worker = min(live, key=lambda w: (len(w.tasks), w.name))
+        fragment = old.fragment
+        remote_symbols = {}
+        for node in plan.walk_plan(fragment.root):
+            if isinstance(node, plan.RemoteSourceNode):
+                remote_symbols[tuple(node.fragment_ids)] = (
+                    list(node.outputs),
+                    list(node.ordering),
+                )
+        new = SimTask(
+            task_id=f"{self.query_id}.{fragment.id}.{old.partition}.r{attempt}",
+            query_id=self.query_id,
+            fragment=fragment,
+            worker=worker,
+            metadata=cluster.metadata,
+            partition=old.partition,
+            output_partition_count=old.output_buffer.partition_count,
+            remote_source_symbols=remote_symbols,
+            cost_model=cluster.cost_model,
+            buffer_capacity=cluster.config.output_buffer_bytes,
+            retain_output=True,
+            attempt=attempt,
+        )
+        self.stages[fragment.id].tasks[old.partition] = new
+        return new
+
+    def _wire_replacement(self, old: SimTask, new: SimTask) -> None:
+        stage = self.stages[new.fragment.id]
+        fragment_id = new.fragment.id
+        producer_key = new.producer_key
+        consumer = self._consumers.get(fragment_id)
+        sim = self.cluster.sim
+        # (a) Producer side: skip the output its consumers already
+        # acknowledged. Regenerated pages below the cursor are recorded
+        # (sequence numbers stay aligned) but never re-sent or counted
+        # as pending, so replay cannot deadlock on backpressure.
+        for p in range(new.output_buffer.partition_count):
+            self._transfer_inflight.discard((old.task_id, p))
+            if consumer is None:
+                new.output_buffer.resume_from(p, self._root_deliveries)
+            else:
+                new.output_buffer.resume_from(
+                    p, self._delivered_counts.get((producer_key, p), 0)
+                )
+        # (b) Consumer side: fresh exchange clients must hear every
+        # upstream stream again — re-feed the logged merged order first,
+        # and cancel/rewind anything aimed at the dead attempt.
+        for client_key, client in new.exchange_clients.items():
+            upstream = [
+                t for fid in client_key for t in self.stages[fid].tasks
+            ]
+            for _ in upstream:
+                client.register_producer()
+            for producer in upstream:
+                self._transfer_eof.discard((producer.producer_key, new.partition))
+                if producer.worker.alive and not producer.superseded:
+                    # An in-flight transfer advanced the cursor past the
+                    # accepted count; rewind so the page is re-sent after
+                    # the replay (the stale in-flight copy is deduped).
+                    producer.output_buffer.rewind_to(
+                        new.partition,
+                        self._delivered_counts.get(
+                            (producer.producer_key, new.partition), 0
+                        ),
+                    )
+            replay_key = (fragment_id, new.partition, client_key)
+            if self._delivery_log.get(replay_key):
+                self._replays[replay_key] = _ReplayState()
+        # (c) Split replay: re-assign the journaled splits in order.
+        if stage.scan_schedules:
+            for scan_index, split in old.split_log:
+                new.add_split_to(scan_index, split)
+            for schedule in stage.scan_schedules:
+                if schedule.done:
+                    new.scan_operators[schedule.scan_index].no_more_splits()
+            if all(s.done for s in stage.scan_schedules):
+                new.no_more_splits_flag = True
+        else:
+            new.no_more_splits()
+        # (d) Start and restart data flow.
+        if stage.started:
+            new.worker.add_task(new)
+        for client_key in new.exchange_clients:
+            replay_key = (fragment_id, new.partition, client_key)
+            if replay_key in self._replays:
+                sim.schedule(0.0, lambda rk=replay_key: self._advance_replay(rk))
+            for fid in client_key:
+                for producer in self.stages[fid].tasks:
+                    sim.schedule(
+                        0.0,
+                        lambda pr=producer, p=new.partition: self._pump_transfers(pr, p),
+                    )
+
+    def _advance_replay(self, replay_key) -> None:
+        """Re-feed one logged delivery to a replaced consumer; chained
+        until the log is exhausted, then normal pumping resumes."""
+        if self.state != "running":
+            return
+        state = self._replays.get(replay_key)
+        if state is None or state.inflight:
+            return
+        consumer_stage_id, partition, client_key = replay_key
+        log = self._delivery_log.get(replay_key, [])
+        if state.pos >= len(log):
+            del self._replays[replay_key]
+            for fid in client_key:
+                for producer in self.stages[fid].tasks:
+                    self._pump_transfers(producer, partition)
+            return
+        producer_key, seq = log[state.pos]
+        producer = self.stages[producer_key[0]].tasks[producer_key[1]]
+        if not producer.worker.alive and not producer.output_buffer.is_drained(partition):
+            return  # the producer died too; its replacement re-triggers us
+        delivery = producer.output_buffer.get_delivery(partition, seq)
+        if delivery is None:
+            return  # not regenerated yet; producer quanta re-trigger us
+        state.inflight = True
+        cost = self.cluster.cost_model.transfer_ms(delivery.bytes)
+        self.cluster.network_bytes += delivery.bytes
+
+        def arrive() -> None:
+            if self.state != "running":
+                return
+            if self._replays.get(replay_key) is not state:
+                return  # the consumer was replaced again; stale replay
+            state.inflight = False
+            state.pos += 1
+            consumer_task = self.stages[consumer_stage_id].tasks[partition]
+            client = consumer_task.exchange_clients[client_key]
+            client.deliver(delivery.page, producer_key, seq)
+            consumer_task.worker.kick(consumer_task)
+            self._advance_replay(replay_key)
+
+        self.cluster.sim.schedule(cost, arrive)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def on_task_quantum(self, task: SimTask) -> None:
         """Called by the cluster after every task quantum: memory, stage
         completion, phased scheduling, completion checks."""
-        if self.state != "running":
+        if self.state != "running" or task.superseded:
             return
         stage = self.stages.get(task.fragment.id)
-        if stage is None:
+        if stage is None or stage.tasks[task.partition] is not task:
             return
         # Adaptive writer scaling (Sec. IV-E3): when a stage feeding a
         # writer keeps its output buffer above the threshold, add writers.
@@ -467,12 +871,20 @@ class QueryExecution:
             return
         if root.all_tasks_finished():
             root_task = root.tasks[0]
+            ft = self.cluster.config.fault_tolerance
+            if (
+                ft.enabled
+                and not root_task.worker.alive
+                and not root_task.output_buffer.is_drained(0)
+            ):
+                return  # undelivered results died with the node
             # Drain any remaining client output.
             while True:
                 delivery = root_task.output_buffer.poll(0)
                 if delivery is None:
                     break
                 self.result_pages.append(delivery.page)
+                self._root_deliveries += 1
             if root_task.output_buffer.finished:
                 self._finish()
 
@@ -481,6 +893,7 @@ class QueryExecution:
             return
         self.state = "finished"
         self.finished_at = self.cluster.sim.now
+        self._cancel_timeout()
         self._cleanup()
         if self.on_finish is not None:
             self.on_finish(self)
@@ -491,6 +904,8 @@ class QueryExecution:
         self.state = "failed"
         self.error = error
         self.finished_at = self.cluster.sim.now
+        self._cancel_timeout()
+        self._replays.clear()
         for stage in self.stages.values():
             for task in stage.tasks:
                 task.fail()

@@ -29,6 +29,10 @@ DEFAULT_BUFFER_CAPACITY = 8 * 1024 * 1024  # bytes per output buffer
 class _Delivery:
     page: Page
     bytes: int
+    # Per-partition sequence number assigned at add time. Stable across
+    # task re-executions (deterministic replay regenerates the same
+    # stream), which is what makes consumer-side dedup exact.
+    seq: int = 0
 
 
 def _materialize(page: Page) -> Page:
@@ -43,21 +47,38 @@ def _materialize(page: Page) -> Page:
 
 
 class OutputBuffer:
-    """Per-task output buffer, partitioned by destination."""
+    """Per-task output buffer, partitioned by destination.
+
+    Each partition is an append-only sequence of deliveries with a send
+    cursor. ``poll`` returns the delivery at the cursor and advances it
+    (the implicit ack of the long-polling protocol releases its space).
+    With ``retain=True`` (fault-tolerant execution) polled deliveries
+    are kept so a lost consumer can re-request the stream from any
+    sequence number; without retention the slot is dropped so memory
+    behaviour matches the paper's buffer-space-only accounting.
+    ``resume_from`` lets a re-executed task skip sequence numbers its
+    consumer already acknowledged: the regenerated pages are recorded
+    (keeping seq numbers aligned) but never count as pending output.
+    """
 
     def __init__(
         self,
         partition_count: int,
         capacity_bytes: int = DEFAULT_BUFFER_CAPACITY,
+        retain: bool = False,
     ):
         self.partition_count = partition_count
         # Round-robin sinks spread data over only this many partitions;
         # the coordinator raises it for adaptive writer scaling (IV-E3).
         self.active_partitions = partition_count
         self.capacity_bytes = capacity_bytes
+        self.retain = retain
         self.pressure_threshold = 0.5
         self.pressure_seen = False
-        self.queues: list[deque[_Delivery]] = [deque() for _ in range(partition_count)]
+        self._partitions: list[list[Optional[_Delivery]]] = [
+            [] for _ in range(partition_count)
+        ]
+        self._cursors: list[int] = [0] * partition_count
         self.buffered_bytes = 0
         self.finished = False
         self.total_pages = 0
@@ -65,6 +86,14 @@ class OutputBuffer:
         # Peak utilization tracking (drives adaptive writer scaling).
         self.utilization_samples: list[float] = []
         self.on_data: Optional[Callable[[int], None]] = None
+
+    @property
+    def queues(self) -> list[list[_Delivery]]:
+        """Pending (unsent) deliveries per partition."""
+        return [
+            [d for d in partition[cursor:] if d is not None]
+            for partition, cursor in zip(self._partitions, self._cursors)
+        ]
 
     @property
     def utilization(self) -> float:
@@ -75,10 +104,17 @@ class OutputBuffer:
 
     def add(self, partition: int, page: Page) -> None:
         size = page.size_bytes()
-        self.queues[partition].append(_Delivery(page, size))
-        self.buffered_bytes += size
+        entries = self._partitions[partition]
+        delivery = _Delivery(page, size, seq=len(entries))
+        entries.append(delivery)
         self.total_pages += 1
         self.total_bytes += size
+        if delivery.seq < self._cursors[partition]:
+            # Re-execution regenerating an already-acknowledged prefix:
+            # record it (sequence numbers stay aligned) but it is not
+            # pending output and exerts no backpressure.
+            return
+        self.buffered_bytes += size
         self.utilization_samples.append(self.utilization)
         if self.utilization > self.pressure_threshold:
             self.pressure_seen = True
@@ -95,12 +131,47 @@ class OutputBuffer:
     def poll(self, partition: int) -> Optional[_Delivery]:
         """Take the next page for ``partition``; releases its space (the
         implicit ack of the long-polling protocol)."""
-        queue = self.queues[partition]
-        if not queue:
+        entries = self._partitions[partition]
+        cursor = self._cursors[partition]
+        if cursor >= len(entries):
             return None
-        delivery = queue.popleft()
+        delivery = entries[cursor]
+        if not self.retain:
+            entries[cursor] = None  # release the reference with the space
+        self._cursors[partition] = cursor + 1
         self.buffered_bytes -= delivery.bytes
         return delivery
+
+    def get_delivery(self, partition: int, seq: int) -> Optional[_Delivery]:
+        """Replay lookup (requires retention): the delivery with the
+        given sequence number, or None if not (re)generated yet."""
+        entries = self._partitions[partition]
+        if seq >= len(entries):
+            return None
+        return entries[seq]
+
+    def resume_from(self, partition: int, seq: int) -> None:
+        """Position the send cursor of a fresh (re-executed) task past
+        the deliveries its consumer already acknowledged."""
+        assert not self._partitions[partition], "resume_from on a used buffer"
+        self._cursors[partition] = seq
+
+    def rewind_to(self, partition: int, seq: int) -> None:
+        """Move the send cursor back to ``seq`` (requires retention).
+        Pages past it become pending again and are re-sent — used when a
+        replaced consumer must re-request a stream whose tail was still
+        in flight (the stale in-flight copy is deduped on arrival)."""
+        assert self.retain, "rewind_to requires retention"
+        cursor = self._cursors[partition]
+        if seq >= cursor:
+            return
+        for entry in self._partitions[partition][seq:cursor]:
+            if entry is not None:
+                self.buffered_bytes += entry.bytes
+        self._cursors[partition] = seq
+
+    def sent_count(self, partition: int) -> int:
+        return self._cursors[partition]
 
     def set_finished(self) -> None:
         self.finished = True
@@ -109,7 +180,9 @@ class OutputBuffer:
                 self.on_data(partition)
 
     def is_drained(self, partition: int) -> bool:
-        return self.finished and not self.queues[partition]
+        return self.finished and self._cursors[partition] >= len(
+            self._partitions[partition]
+        )
 
 
 class ExchangeSinkOperator(Operator):
@@ -200,7 +273,15 @@ class ExchangeSinkOperator(Operator):
 
 class ExchangeClient:
     """Consumer-side input for one remote source: receives pages shipped
-    from all producing tasks of the upstream fragments."""
+    from all producing tasks of the upstream fragments.
+
+    Deliveries may carry a ``(producer_key, seq)`` identity (stable
+    across task re-executions). The client accepts only the next
+    expected sequence number per producer and silently drops everything
+    else — duplicated transfers and pages re-sent by a recovered
+    producer are deduplicated here, which is what keeps results
+    bit-exact under fault injection. EOFs are idempotent per producer
+    for the same reason."""
 
     def __init__(self, symbols: Sequence = (), ordering: Sequence[Ordering] = ()):
         self.pages: deque[Page] = deque()
@@ -210,6 +291,11 @@ class ExchangeClient:
         self.ordering = list(ordering)
         self.symbols = list(symbols)
         self.types = [s.type for s in self.symbols]
+        # Dedup state: next expected seq per producer identity, plus the
+        # set of producers whose EOF has been counted.
+        self._next_seq: dict = {}
+        self._eof_keys: set = set()
+        self.duplicates_dropped = 0
         # Ordered merge: hold pages until all producers finish.
         self._merge_rows: list[tuple] = []
         self._merged = False
@@ -217,7 +303,11 @@ class ExchangeClient:
     def register_producer(self) -> None:
         self.producers_expected += 1
 
-    def producer_finished(self) -> None:
+    def producer_finished(self, producer_key=None) -> None:
+        if producer_key is not None:
+            if producer_key in self._eof_keys:
+                return
+            self._eof_keys.add(producer_key)
         self.producers_finished += 1
 
     @property
@@ -227,12 +317,26 @@ class ExchangeClient:
             and self.producers_finished >= self.producers_expected
         )
 
-    def deliver(self, page: Page) -> None:
+    def received_count(self, producer_key) -> int:
+        """How many pages of this producer's stream have been accepted
+        (the re-request point for a re-executed producer)."""
+        return self._next_seq.get(producer_key, 0)
+
+    def deliver(self, page: Page, producer_key=None, seq: int | None = None) -> bool:
+        if producer_key is not None and seq is not None:
+            expected = self._next_seq.get(producer_key, 0)
+            if seq != expected:
+                # Duplicate (or a stale in-flight transfer that replay
+                # already superseded): drop, results stay exact.
+                self.duplicates_dropped += 1
+                return False
+            self._next_seq[producer_key] = expected + 1
         if self.ordering:
             self._merge_rows.extend(page.rows())
-            return
+            return True
         self.pages.append(page)
         self.buffered_bytes += page.size_bytes()
+        return True
 
     def poll(self) -> Optional[Page]:
         if self.ordering:

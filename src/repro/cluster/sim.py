@@ -7,22 +7,41 @@ import itertools
 from typing import Callable
 
 
+class ScheduledEvent:
+    """Handle for a scheduled callback; ``cancel()`` prevents it from
+    firing (the heap entry is skipped lazily when popped)."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class Simulation:
     """Minimal deterministic event loop over virtual milliseconds."""
 
     def __init__(self):
         self.now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[[], None], ScheduledEvent]] = []
         self._counter = itertools.count()
         self.events_processed = 0
 
-    def schedule(self, delay_ms: float, action: Callable[[], None]) -> None:
+    def schedule(self, delay_ms: float, action: Callable[[], None]) -> ScheduledEvent:
         """Run ``action`` at now + delay_ms."""
         at = self.now + max(0.0, delay_ms)
-        heapq.heappush(self._heap, (at, next(self._counter), action))
+        event = ScheduledEvent()
+        heapq.heappush(self._heap, (at, next(self._counter), action, event))
+        return event
 
-    def schedule_at(self, time_ms: float, action: Callable[[], None]) -> None:
-        heapq.heappush(self._heap, (max(time_ms, self.now), next(self._counter), action))
+    def schedule_at(self, time_ms: float, action: Callable[[], None]) -> ScheduledEvent:
+        event = ScheduledEvent()
+        heapq.heappush(
+            self._heap, (max(time_ms, self.now), next(self._counter), action, event)
+        )
+        return event
 
     @property
     def pending(self) -> int:
@@ -32,8 +51,10 @@ class Simulation:
         """Process one event; returns False when the heap is empty."""
         if not self._heap:
             return False
-        at, _, action = heapq.heappop(self._heap)
+        at, _, action, event = heapq.heappop(self._heap)
         self.now = max(self.now, at)
+        if event.cancelled:
+            return True
         self.events_processed += 1
         action()
         return True

@@ -91,6 +91,8 @@ class SimTask:
         remote_source_symbols: dict[tuple, tuple],
         cost_model: CostModel,
         buffer_capacity: int,
+        retain_output: bool = False,
+        attempt: int = 0,
     ):
         self.task_id = task_id
         self.query_id = query_id
@@ -98,17 +100,29 @@ class SimTask:
         self.worker = worker
         self.partition = partition
         self.cost_model = cost_model
+        # Stable identity across re-execution attempts: consumers dedup
+        # and re-request streams by this key, not by task_id.
+        self.attempt = attempt
+        self.producer_key = (fragment.id, partition)
         self.scan_operators: list[TableScanOperator] = []
         self.exchange_clients: dict[tuple, ExchangeClient] = {}
         for key, (symbols, ordering) in remote_source_symbols.items():
             self.exchange_clients[key] = ExchangeClient(symbols, ordering)
-        self.output_buffer = OutputBuffer(output_partition_count, buffer_capacity)
+        self.output_buffer = OutputBuffer(
+            output_partition_count, buffer_capacity, retain=retain_output
+        )
         planner = SimTaskPlanner(metadata, self)
         self.drivers = planner.plan_fragment(fragment)
         self.stats = TaskStats()
         self.no_more_splits_flag = False
         self.failed = False
+        # Set when a replacement attempt took over this task's slot; a
+        # superseded task's late quanta are ignored by the coordinator.
+        self.superseded = False
         self.memory_blocked = False
+        # Replay journal: splits in assignment order, so a re-execution
+        # deterministically regenerates the same output stream.
+        self.split_log: list[tuple[int, object]] = []
         self._last_user_retained = 0
         self._last_system_retained = 0
         self._last_io_ms = 0.0
@@ -127,6 +141,7 @@ class SimTask:
         raise AssertionError("use add_split_to(scan_index, split)")
 
     def add_split_to(self, scan_index: int, split) -> None:
+        self.split_log.append((scan_index, split))
         self.scan_operators[scan_index].add_split(split)
 
     def no_more_splits(self) -> None:
@@ -137,7 +152,12 @@ class SimTask:
     # -- execution ------------------------------------------------------------
 
     def is_runnable(self) -> bool:
-        return not self.failed and not self.memory_blocked and not self.is_finished()
+        return (
+            not self.failed
+            and not self.superseded
+            and not self.memory_blocked
+            and not self.is_finished()
+        )
 
     def run_quantum(self, quantum_ms: float = 1000.0) -> tuple[float, bool]:
         """Run one scheduling quantum: round-robin driver-loop passes over

@@ -82,6 +82,9 @@ class Worker:
         self._scheduled_by_level = [0.0] * len(LEVEL_WEIGHTS)
         self.stats = WorkerStats()
         self.alive = True
+        # Chaos knob: >1 models a degraded node (thermal throttling, a
+        # noisy neighbour) — in-flight quanta drain this much slower.
+        self.slow_factor = 1.0
         # Utilization trace: (time_ms, busy_threads) samples.
         self.utilization_trace: list[tuple[float, int]] = []
         # Processor-sharing state: in-flight quanta draining together.
@@ -188,7 +191,7 @@ class Worker:
     def _ps_rate(self) -> float:
         if not self._active:
             return 1.0
-        return min(1.0, self.threads / len(self._active))
+        return min(1.0, self.threads / len(self._active)) / max(self.slow_factor, 1e-9)
 
     def _ps_advance(self) -> None:
         """Drain remaining CPU of in-flight quanta up to sim.now."""
@@ -245,6 +248,12 @@ class Worker:
             self._parked.add(task.task_id)
 
     # -- faults -------------------------------------------------------------------
+
+    def degrade(self, slow_factor: float) -> None:
+        """Slow this node down by ``slow_factor`` (chaos injection)."""
+        self._ps_advance()  # settle in-flight quanta at the old rate
+        self.slow_factor = max(slow_factor, 1e-9)
+        self._ps_reschedule()
 
     def crash(self) -> list["SimTask"]:
         """Kill the node; returns the tasks that were running here."""

@@ -1,18 +1,48 @@
 """Error hierarchy for the engine.
 
-Mirrors Presto's error classification: user errors (bad SQL, bad types),
-insufficient-resource errors (memory limits), and internal errors. Every
-error carries a stable ``code`` so clients and tests can match on it
-without parsing messages.
+Mirrors Presto's error classification (Sec. IV-G): every error belongs
+to one of four categories — USER_ERROR (the query or its inputs are at
+fault), INTERNAL_ERROR (an engine component misbehaved),
+INSUFFICIENT_RESOURCES (memory/queue/time limits), or EXTERNAL (a
+system outside the engine: connectors, the network). Every error
+carries a stable ``code`` so clients and tests can match on it without
+parsing messages, plus a ``retryable`` flag that drives the cluster's
+retry policy: retryable faults are eligible for task-level recovery or
+client resubmission; non-retryable faults fail the query immediately
+(re-running a bad query or a deterministic memory blowout cannot help).
 """
 
 from __future__ import annotations
+
+# The four error categories of paper Sec. IV-G.
+USER_ERROR = "USER_ERROR"
+INTERNAL_ERROR = "INTERNAL_ERROR"
+INSUFFICIENT_RESOURCES = "INSUFFICIENT_RESOURCES"
+EXTERNAL = "EXTERNAL"
+
+ERROR_CATEGORIES = (USER_ERROR, INTERNAL_ERROR, INSUFFICIENT_RESOURCES, EXTERNAL)
+
+
+def error_category(error: BaseException) -> str:
+    """Classify any exception into one of the four Sec. IV-G categories."""
+    if isinstance(error, PrestoError):
+        return error.category
+    return INTERNAL_ERROR
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether re-executing the failed work can plausibly succeed."""
+    if isinstance(error, PrestoError):
+        return error.retryable
+    return False
 
 
 class PrestoError(Exception):
     """Base class for every engine error."""
 
     code = "GENERIC_INTERNAL_ERROR"
+    category = INTERNAL_ERROR
+    retryable = False
 
     def __init__(self, message: str, code: str | None = None):
         super().__init__(message)
@@ -28,6 +58,7 @@ class UserError(PrestoError):
     """The query (or its inputs) are at fault, not the engine."""
 
     code = "GENERIC_USER_ERROR"
+    category = USER_ERROR
 
 
 class SyntaxError_(UserError):
@@ -71,23 +102,47 @@ class InvalidCastError(UserError):
 
 
 class ExceededMemoryLimitError(PrestoError):
-    """Query exceeded its per-node or global user memory limit (Sec. IV-F2)."""
+    """Query exceeded its per-node or global user memory limit (Sec. IV-F2).
+
+    Not retryable: the same query over the same data deterministically
+    hits the same limit (clients may retry later on a quieter cluster,
+    but the engine does not re-execute tasks for it)."""
 
     code = "EXCEEDED_MEMORY_LIMIT"
+    category = INSUFFICIENT_RESOURCES
 
 
 class ExceededTimeLimitError(PrestoError):
     code = "EXCEEDED_TIME_LIMIT"
+    category = INSUFFICIENT_RESOURCES
 
 
 class QueryQueueFullError(PrestoError):
+    """Admission rejection: transient by nature, safe to resubmit."""
+
     code = "QUERY_QUEUE_FULL"
+    category = INSUFFICIENT_RESOURCES
+    retryable = True
 
 
 class WorkerFailedError(PrestoError):
-    """A worker node crashed while the query was running (Sec. IV-G)."""
+    """A worker node crashed while the query was running (Sec. IV-G).
+
+    Retryable: the work itself was fine; re-executing the lost tasks on
+    surviving workers (or resubmitting the query) can succeed."""
 
     code = "WORKER_NODE_FAILED"
+    retryable = True
+
+
+class TransferFailedError(PrestoError):
+    """A shuffle transfer kept failing past the retry budget (Sec. IV-G:
+    transient network faults are EXTERNAL and retried at a low level;
+    this error surfaces only when the retry policy gives up)."""
+
+    code = "TRANSFER_FAILED"
+    category = EXTERNAL
+    retryable = True
 
 
 class PlannerError(PrestoError):
@@ -96,6 +151,8 @@ class PlannerError(PrestoError):
 
 class ConnectorError(PrestoError):
     code = "CONNECTOR_ERROR"
+    category = EXTERNAL
+    retryable = True
 
 
 class CatalogNotFoundError(SemanticError):

@@ -13,6 +13,10 @@ every result against the reference oracle:
 5. ``cluster``     — SimCluster: fragmented, scheduled, shuffled
 6. ``cluster_faults`` — SimCluster with transient transfer failures
    plus a mid-query worker crash; the client retries per paper Sec. IV-G
+7. ``chaos``       — SimCluster with fault tolerance enabled: a worker
+   is crashed mid-query and transfers suffer transient failures and
+   duplication, but heartbeat detection plus task-level recovery must
+   complete the query bit-exactly *without* a client retry
 
 Errors are outcomes too: if the oracle raises, every configuration must
 raise an error of the same class.
@@ -42,6 +46,7 @@ CONFIG_NAMES = (
     "row_kernels",
     "cluster",
     "cluster_faults",
+    "chaos",
 )
 
 # The case currently (or most recently) executing. Deliberately NOT
@@ -168,12 +173,16 @@ def _local_engine(tables, optimize: bool, interpreted: bool) -> LocalEngine:
     return engine
 
 
-def _cluster(tables, faults: bool) -> SimCluster:
+def _cluster(tables, faults: bool, recovery: bool = False) -> SimCluster:
+    from repro.cluster import FaultToleranceConfig
+
     config = ClusterConfig(
         worker_count=3,
         default_catalog="memory",
         default_schema="default",
         transient_failure_rate=0.05 if faults else 0.0,
+        transfer_duplicate_rate=0.05 if recovery else 0.0,
+        fault_tolerance=FaultToleranceConfig(enabled=recovery),
     )
     cluster = SimCluster(config)
     connector = MemoryConnector()
@@ -208,6 +217,21 @@ def _run_faulted(tables, sql: str) -> list[tuple]:
     return retry.rows()
 
 
+def _run_chaos(tables, sql: str) -> list[tuple]:
+    """Fault-tolerant run: a worker crash mid-query plus transient and
+    duplicated transfers; heartbeat detection and task-level recovery
+    must complete the query on the survivors with bit-exact results —
+    no client retry allowed."""
+    cluster = _cluster(tables, faults=True, recovery=True)
+    handle = cluster.submit(sql)
+    cluster.sim.run(until_ms=1.0)
+    cluster.crash_worker("worker-2")
+    cluster.run()
+    if handle.state == "failed":
+        raise handle.error
+    return handle.rows()
+
+
 def run_config(name: str, case_tables, sql: str) -> Outcome:
     if name == "oracle":
         connector = MemoryConnector()
@@ -239,6 +263,8 @@ def run_config(name: str, case_tables, sql: str) -> Outcome:
         return _capture(lambda: cluster.run_query(sql).rows())
     if name == "cluster_faults":
         return _capture(lambda: _run_faulted(case_tables, sql))
+    if name == "chaos":
+        return _capture(lambda: _run_chaos(case_tables, sql))
     raise ValueError(f"unknown config {name!r}")
 
 

@@ -23,14 +23,18 @@ def pytest_addoption(parser):
 
 
 def pytest_collection_modifyitems(config, items):
-    # The extended campaign is opt-in: deselect fuzz_long unless the
-    # marker was requested explicitly via -m.
-    if "fuzz_long" in (config.getoption("-m") or ""):
-        return
-    skip = pytest.mark.skip(reason="extended fuzz campaign; run with -m fuzz_long")
-    for item in items:
-        if "fuzz_long" in item.keywords:
-            item.add_marker(skip)
+    # Extended campaigns are opt-in: deselect each *_long marker unless
+    # it was requested explicitly via -m.
+    requested = config.getoption("-m") or ""
+    for marker in ("fuzz_long", "chaos_long"):
+        if marker in requested:
+            continue
+        skip = pytest.mark.skip(
+            reason=f"extended campaign; run with -m {marker}"
+        )
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture

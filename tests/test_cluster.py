@@ -240,6 +240,37 @@ def test_client_retry_after_crash():
     assert retry.rows() == [(12000,)]
 
 
+def test_stats_snapshot_fault_tolerance_counters():
+    """stats_snapshot() exposes the fault-tolerance counters; a crash
+    with recovery enabled moves the detection + recovery ones."""
+    from repro.cluster import FaultToleranceConfig
+
+    cluster = tpch_cluster(
+        fault_tolerance=FaultToleranceConfig(enabled=True),
+        transfer_duplicate_rate=0.2,
+    )
+    handle = cluster.submit("SELECT sum(extendedprice) FROM lineitem")
+    cluster.sim.run(until_ms=1.0)
+    cluster.crash_worker("worker-1")
+    cluster.run()
+    assert handle.state == "finished"
+    stats = cluster.stats_snapshot()
+    for key in (
+        "ft.heartbeats_missed",
+        "ft.workers_detected_dead",
+        "ft.tasks_recovered",
+        "ft.transfers_retried",
+        "ft.transfers_escalated",
+        "ft.transfer_duplicates_injected",
+        "ft.queries_timed_out",
+    ):
+        assert stats[key] >= 0, key
+    assert stats["ft.heartbeats_missed"] >= 1
+    assert stats["ft.workers_detected_dead"] == 1
+    assert stats["ft.tasks_recovered"] >= 1
+    assert stats["ft.queries_timed_out"] == 0
+
+
 # ---------------------------------------------------------------------------
 # Shuffle / backpressure
 # ---------------------------------------------------------------------------

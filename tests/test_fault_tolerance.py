@@ -1,0 +1,290 @@
+"""Fault-tolerance tests: heartbeat failure detection, task-level
+recovery, retry policy, query timeouts, and graceful degradation.
+
+The legacy (fault tolerance disabled) crash behaviour stays covered in
+test_cluster.py; this file exercises the recovery path added on top of
+it (see docs/FAULT_TOLERANCE.md)."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, FaultToleranceConfig, SimCluster
+from repro.cluster.fault import RetryPolicy
+from repro.connectors.tpch import TpchConnector
+from repro.errors import (
+    EXTERNAL,
+    INSUFFICIENT_RESOURCES,
+    INTERNAL_ERROR,
+    USER_ERROR,
+    ConnectorError,
+    DivisionByZeroError,
+    ExceededMemoryLimitError,
+    ExceededTimeLimitError,
+    QueryQueueFullError,
+    TransferFailedError,
+    WorkerFailedError,
+    error_category,
+    is_retryable,
+)
+
+
+def ft_cluster(ft=None, **overrides) -> SimCluster:
+    config = ClusterConfig(
+        worker_count=overrides.pop("worker_count", 4),
+        default_catalog="tpch",
+        default_schema="tiny",
+        fault_tolerance=ft or FaultToleranceConfig(enabled=True),
+        **overrides,
+    )
+    cluster = SimCluster(config)
+    cluster.register_catalog("tpch", TpchConnector(scale_factor=0.002))
+    return cluster
+
+
+RECOVERY_QUERIES = [
+    "SELECT sum(extendedprice) FROM lineitem",
+    "SELECT returnflag, linestatus, sum(quantity), count(*) FROM lineitem GROUP BY 1, 2 ORDER BY 1, 2",
+    "SELECT n.name, count(*) FROM customer c JOIN nation n ON c.nationkey = n.nationkey GROUP BY 1 ORDER BY 2 DESC, 1 LIMIT 5",
+]
+
+
+def expected_rows(sql: str) -> list[tuple]:
+    return ft_cluster(FaultToleranceConfig(enabled=False)).run_query(sql).rows()
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy (Sec. IV-G)
+# ---------------------------------------------------------------------------
+
+
+def test_error_categories_and_retryability():
+    cases = [
+        # (error, category, retryable)
+        (DivisionByZeroError("/0"), USER_ERROR, False),
+        (ExceededMemoryLimitError("oom"), INSUFFICIENT_RESOURCES, False),
+        (ExceededTimeLimitError("slow"), INSUFFICIENT_RESOURCES, False),
+        (QueryQueueFullError("full"), INSUFFICIENT_RESOURCES, True),
+        (WorkerFailedError("crash"), INTERNAL_ERROR, True),
+        (TransferFailedError("net"), EXTERNAL, True),
+        (ConnectorError("hive down"), EXTERNAL, True),
+    ]
+    for error, category, retryable in cases:
+        assert error_category(error) == category, error
+        assert is_retryable(error) is retryable, error
+    # Non-Presto exceptions classify as internal, never retryable.
+    assert error_category(ValueError("x")) == INTERNAL_ERROR
+    assert not is_retryable(ValueError("x"))
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+
+def test_retry_policy_deterministic_bounded_backoff():
+    policy = RetryPolicy(FaultToleranceConfig())
+    delays = [policy.delay_ms("k", attempt) for attempt in range(1, 9)]
+    # Pure function of (key, attempt).
+    assert delays == [policy.delay_ms("k", a) for a in range(1, 9)]
+    # Grows (roughly doubling) until the cap; jitter is bounded.
+    base, cap, jitter = 2.0, 200.0, 0.25
+    for attempt, delay in enumerate(delays, start=1):
+        raw = min(base * 2.0 ** (attempt - 1), cap)
+        assert raw <= delay < raw * (1 + jitter)
+    assert delays[-1] < cap * (1 + jitter)
+    # Different keys desynchronize (no retry storms).
+    assert policy.delay_ms("k", 3) != policy.delay_ms("other", 3)
+
+
+def test_transfer_retries_give_up_and_escalate():
+    """A permanently failing transfer must not retry forever: attempts
+    are capped and the failure escalates (satellite of the old unbounded
+    5ms retry loop)."""
+    # Without recovery, escalation fails the query with the transfer
+    # error — bounded time, bounded attempts.
+    cluster = ft_cluster(
+        FaultToleranceConfig(enabled=False), transient_failure_rate=1.0
+    )
+    handle = cluster.submit(RECOVERY_QUERIES[0])
+    cluster.run()
+    assert handle.state == "failed"
+    assert isinstance(handle.error, TransferFailedError)
+    assert cluster.transfers_escalated >= 1
+    stats = cluster.stats_snapshot()
+    assert stats["ft.transfers_retried"] >= cluster.config.fault_tolerance.transfer_max_attempts - 1
+
+    # With recovery, escalation re-executes the producer task; since
+    # every transfer fails, the retry budget eventually exhausts and the
+    # query still terminates.
+    cluster = ft_cluster(transient_failure_rate=1.0)
+    handle = cluster.submit(RECOVERY_QUERIES[0])
+    cluster.run()
+    assert handle.state == "failed"
+    assert cluster.tasks_recovered >= 1
+
+
+# ---------------------------------------------------------------------------
+# Failure detection
+# ---------------------------------------------------------------------------
+
+
+def test_heartbeat_detection_is_not_omniscient():
+    """With fault tolerance on, a crash is only *observed* after the
+    heartbeat timeout elapses on the virtual clock."""
+    ft = FaultToleranceConfig(
+        enabled=True, heartbeat_interval_ms=10.0, heartbeat_timeout_ms=40.0
+    )
+    cluster = ft_cluster(ft)
+    cluster.submit(RECOVERY_QUERIES[0])
+    cluster.sim.run(until_ms=1.0)
+    cluster.crash_worker("worker-1")
+    # Immediately after the crash the coordinator still believes the
+    # worker is alive.
+    assert cluster.detector.believes_alive("worker-1")
+    assert "worker-1" in [w.name for w in cluster.live_workers()]
+    cluster.sim.run(until_ms=1.0 + ft.heartbeat_timeout_ms + 2 * ft.heartbeat_interval_ms)
+    assert not cluster.detector.believes_alive("worker-1")
+    assert "worker-1" in cluster.detector.detected_dead
+    stats = cluster.stats_snapshot()
+    assert stats["ft.heartbeats_missed"] >= 1
+    assert stats["ft.workers_detected_dead"] == 1
+    cluster.run()
+
+
+# ---------------------------------------------------------------------------
+# Task-level recovery
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("sql", RECOVERY_QUERIES)
+def test_crash_recovery_is_bit_exact(sql):
+    expected = expected_rows(sql)
+    cluster = ft_cluster()
+    handle = cluster.submit(sql)
+    cluster.sim.run(until_ms=1.0)
+    cluster.crash_worker("worker-1")
+    cluster.run()
+    assert handle.state == "finished"
+    assert handle.rows() == expected
+    assert cluster.tasks_recovered >= 1
+    # Recovered work landed on survivors only.
+    assert all(
+        task.worker.name != "worker-1"
+        for stage in handle.stages.values()
+        for task in stage.tasks
+    )
+
+
+def test_double_crash_recovery():
+    sql = RECOVERY_QUERIES[1]
+    expected = expected_rows(sql)
+    cluster = ft_cluster()
+    handle = cluster.submit(sql)
+    cluster.sim.run(until_ms=1.0)
+    cluster.crash_worker("worker-1")
+    cluster.sim.run(until_ms=2.0)
+    cluster.crash_worker("worker-3")
+    cluster.run()
+    assert handle.state == "finished"
+    assert handle.rows() == expected
+
+
+def test_recovery_disabled_fails_query_on_detection():
+    """Detection without recovery reproduces the paper's fail-the-query
+    behaviour, just via heartbeats instead of omniscience."""
+    cluster = ft_cluster(
+        FaultToleranceConfig(enabled=True, task_recovery_enabled=False)
+    )
+    handle = cluster.submit(RECOVERY_QUERIES[0])
+    cluster.sim.run(until_ms=1.0)
+    cluster.crash_worker("worker-1")
+    cluster.run()
+    assert handle.state == "failed"
+    assert isinstance(handle.error, WorkerFailedError)
+    assert cluster.tasks_recovered == 0
+
+
+def test_duplicate_deliveries_are_dropped():
+    sql = RECOVERY_QUERIES[1]
+    expected = expected_rows(sql)
+    cluster = ft_cluster(transfer_duplicate_rate=0.5)
+    handle = cluster.run_query(sql)
+    assert handle.rows() == expected
+    stats = cluster.stats_snapshot()
+    assert stats["ft.transfer_duplicates_injected"] >= 1
+    dropped = sum(
+        client.duplicates_dropped
+        for stage in handle.stages.values()
+        for task in stage.tasks
+        for client in task.exchange_clients.values()
+    )
+    assert dropped == stats["ft.transfer_duplicates_injected"]
+
+
+def test_slow_worker_degrades_but_stays_exact():
+    sql = RECOVERY_QUERIES[1]
+    fast = ft_cluster()
+    fast_handle = fast.run_query(sql)
+    slow = ft_cluster()
+    slow_handle = slow.submit(sql)
+    slow.sim.run(until_ms=0.5)
+    slow.degrade_worker("worker-0", slow_factor=8.0)
+    slow.run()
+    assert slow_handle.state == "finished"
+    assert slow_handle.rows() == fast_handle.rows()
+    assert slow_handle.wall_time_ms > fast_handle.wall_time_ms
+
+
+# ---------------------------------------------------------------------------
+# Query timeout + fail() cancellation
+# ---------------------------------------------------------------------------
+
+
+def test_query_timeout_kills_query():
+    cluster = ft_cluster(
+        FaultToleranceConfig(enabled=True, query_timeout_ms=0.5)
+    )
+    handle = cluster.submit(RECOVERY_QUERIES[1])
+    cluster.run()
+    assert handle.state == "failed"
+    assert isinstance(handle.error, ExceededTimeLimitError)
+    assert cluster.stats_snapshot()["ft.queries_timed_out"] == 1
+
+
+def test_fail_cancels_outstanding_closures():
+    """Regression: QueryExecution.fail() while transfers and client
+    polls are in flight must not let stale closures fire against the
+    dead query — the simulation must drain and later queries run clean."""
+    cluster = ft_cluster(
+        FaultToleranceConfig(enabled=True, task_recovery_enabled=False),
+        transient_failure_rate=0.2,
+    )
+    handle = cluster.submit(RECOVERY_QUERIES[1])
+    cluster.sim.run(until_ms=1.0)
+    cluster.crash_worker("worker-1")
+    cluster.run()
+    assert handle.state == "failed"
+    # The clock did not run away retrying work for a dead query.
+    assert cluster.sim.now < 10_000
+    # The cluster is reusable afterwards.
+    retry = cluster.run_query("SELECT count(*) FROM orders")
+    assert retry.rows() == [(3000,)]
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+
+
+def test_queued_queries_readmitted_on_shrunken_cluster():
+    cluster = ft_cluster(max_concurrent_queries=2)
+    handles = [
+        cluster.submit("SELECT count(*), sum(totalprice) FROM orders")
+        for _ in range(5)
+    ]
+    cluster.sim.run(until_ms=1.0)
+    cluster.crash_worker("worker-2")
+    cluster.run()
+    expected = expected_rows("SELECT count(*), sum(totalprice) FROM orders")
+    for handle in handles:
+        assert handle.state == "finished"
+        assert handle.rows() == expected
