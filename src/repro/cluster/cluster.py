@@ -77,6 +77,10 @@ class ClusterConfig:
     fault_tolerance: FaultToleranceConfig = field(
         default_factory=FaultToleranceConfig
     )
+    # Runtime dynamic filtering: simulated collection/propagation latency
+    # between a build task publishing its key summary and the coordinator
+    # being able to act on it (split pruning, filtered splits).
+    dynamic_filter_latency_ms: float = 1.0
     # Cost model.
     cost_mode: str = "deterministic"
     speed_factor: float = 1.0
@@ -130,6 +134,13 @@ class SimCluster:
         self.transfers_escalated = 0
         self.transfer_duplicates_injected = 0
         self.queries_timed_out = 0
+        self.dead_node_bytes_released = 0
+        # Dynamic-filter counters (runtime filtering, docs/EXECUTION.md).
+        self.df_filters_published = 0
+        self.df_filters_republished = 0
+        self.df_splits_pruned = 0
+        self.df_rows_filtered = 0
+        self.df_waits_expired = 0
         self.detector = FailureDetector(
             self.sim,
             self.workers,
@@ -370,9 +381,18 @@ class SimCluster:
     def _on_worker_detected_dead(self, name: str) -> None:
         """Heartbeat timeout fired: recover (or fail) affected queries,
         then re-admit queued work against the shrunken cluster."""
+        # Release the dead node's memory reservations immediately: its
+        # pool no longer backs real allocations, and holding the bytes
+        # until query end can wedge admission/unblocking on a cluster
+        # that nominally has headroom.
+        released = self.memory_manager.release_node(name)
+        if released:
+            self.dead_node_bytes_released += released
         for query in list(self.queries.values()):
             if query.state == "running":
                 query.on_worker_dead(name)
+        if released:
+            self.on_query_memory_released()
         self.sim.schedule(0.0, self._admit)
 
     def _fault_draw(self) -> float:
@@ -425,6 +445,12 @@ class SimCluster:
             "ft.transfers_escalated": self.transfers_escalated,
             "ft.transfer_duplicates_injected": self.transfer_duplicates_injected,
             "ft.queries_timed_out": self.queries_timed_out,
+            "ft.dead_node_bytes_released": self.dead_node_bytes_released,
+            "df.filters_published": self.df_filters_published,
+            "df.filters_republished": self.df_filters_republished,
+            "df.splits_pruned": self.df_splits_pruned,
+            "df.rows_filtered": self.df_rows_filtered,
+            "df.waits_expired": self.df_waits_expired,
         }
         for name, worker in self.workers.items():
             snapshot[f"worker.{name}.alive"] = worker.alive

@@ -71,6 +71,11 @@ class _ScanSchedule:
     split_source: object
     done: bool = False
     assigned: int = 0
+    # The TableScanNode, for runtime dynamic filtering: awaited filter
+    # ids + bounded-wait policy (repro.optimizer.rules.dynamic_filters).
+    node: object = None
+    wait_deadline: Optional[float] = None
+    wait_expired: bool = False
 
 
 @dataclass
@@ -158,6 +163,19 @@ class QueryExecution:
         self._root_deliveries = 0
         self._timeout_event = None
         self.tasks_recovered = 0
+        # -- dynamic filter state --------------------------------------
+        # filter id -> merged DynamicFilter, complete and usable.
+        self._df_ready: dict[str, object] = {}
+        # filter id -> {build partition: partial DynamicFilter}. For
+        # hash-partitioned joins each build task holds one key slice, so
+        # the filter is usable only once *every* partition reported; the
+        # partition key also dedups republications from recovered builds
+        # (filter content is order-independent, so copies are identical).
+        self._df_partials: dict[str, dict[int, object]] = {}
+        # filter id -> number of build-task partials required.
+        self._df_expected: dict[str, int] = {}
+        # task_id -> (rows_filtered, splits_pruned) last aggregated.
+        self._df_counter_seen: dict[str, tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # Startup
@@ -297,9 +315,18 @@ class QueryExecution:
                     )[0]
                 stage.scan_schedules.append(
                     _ScanSchedule(
-                        scan_index, connector, connector.split_source(layout)
+                        scan_index,
+                        connector,
+                        connector.split_source(layout),
+                        node=node,
                     )
                 )
+        # Dynamic filters: each annotated Join/SemiJoin build collects one
+        # partial per task of its stage.
+        for fragment_id, stage in self.stages.items():
+            for node in plan.walk_plan(stage.fragment.root):
+                for filter_id in getattr(node, "dynamic_filter_ids", ()) or ():
+                    self._df_expected[filter_id] = len(stage.tasks)
 
     def _start_phased(self) -> None:
         # Phased execution (Sec. IV-D1): "if a hash-join is executed in
@@ -379,6 +406,13 @@ class QueryExecution:
         def fetch() -> None:
             if self.state != "running" or schedule.done:
                 return
+            if self._df_wait_blocked(schedule):
+                # Bounded wait for awaited dynamic filters: deferring the
+                # very first split fetch lets a fast build side prune
+                # splits before any are assigned. Expired waits degrade
+                # gracefully to unfiltered reads.
+                self.cluster.sim.schedule(_SPLIT_BATCH_LATENCY_MS, fetch)
+                return
             batch = schedule.split_source.get_next_batch(_SPLIT_BATCH_SIZE)
             for split in batch:
                 self._assign_split(stage, schedule, split)
@@ -397,10 +431,58 @@ class QueryExecution:
 
         self.cluster.sim.schedule(_SPLIT_BATCH_LATENCY_MS, fetch)
 
+    def _df_wait_blocked(self, schedule: _ScanSchedule) -> bool:
+        node = schedule.node
+        awaited = getattr(node, "dynamic_filters", None)
+        if not awaited:
+            return False
+        if all(fid in self._df_ready for fid in awaited):
+            return False
+        now = self.cluster.sim.now
+        if schedule.wait_deadline is None:
+            schedule.wait_deadline = now + getattr(
+                node, "dynamic_filter_wait_ms", 0.0
+            )
+        if now < schedule.wait_deadline:
+            return True
+        if not schedule.wait_expired:
+            schedule.wait_expired = True
+            self.cluster.df_waits_expired += 1
+        return False
+
+    def _df_augment_split(self, schedule: _ScanSchedule, split):
+        """Attach ready dynamic filters to the split (so filtered reads
+        stay a pure function of the split, replay-safe), or return None
+        when the connector proves the split holds no matching rows."""
+        node = schedule.node
+        awaited = getattr(node, "dynamic_filters", None)
+        if not awaited:
+            return split
+        attached = dict(split.dynamic_filters)
+        changed = False
+        for filter_id, column in awaited.items():
+            ready = self._df_ready.get(filter_id)
+            if ready is not None and column not in attached:
+                attached[column] = ready
+                changed = True
+        if not changed:
+            return split
+        if schedule.connector.prune_split(split, attached):
+            self.cluster.df_splits_pruned += 1
+            return None
+        import dataclasses
+
+        return dataclasses.replace(
+            split, dynamic_filters=tuple(sorted(attached.items()))
+        )
+
     def _assign_split(self, stage: StageExecution, schedule: _ScanSchedule, split) -> None:
         tasks = [t for t in stage.tasks if not t.failed]
         if not tasks:
             return
+        split = self._df_augment_split(schedule, split)
+        if split is None:
+            return  # pruned: never journaled, never assigned
         if not split.remotely_accessible and split.addresses:
             # Shared-nothing: the split must run where its data lives.
             candidates = [
@@ -852,6 +934,11 @@ class QueryExecution:
         ):
             buffer.active_partitions += 1
             self.writer_scale_ups += 1
+        # Collect dynamic filters published by build operators during the
+        # quantum, and fold the task's df counters into cluster stats.
+        for filter_ in task.dynamic_filters.drain_published():
+            self._on_dynamic_filter_published(filter_, task.partition)
+        self._aggregate_df_counters(task)
         # Ship pages produced during the quantum (and EOFs of finished
         # tasks) to consumers.
         for partition in range(task.output_buffer.partition_count):
@@ -862,6 +949,49 @@ class QueryExecution:
                     if not other.started and not self._phase_blocked(other):
                         self._start_stage(other)
         self._check_done()
+
+    # ------------------------------------------------------------------
+    # Dynamic filter collection (build side -> coordinator)
+    # ------------------------------------------------------------------
+
+    def _on_dynamic_filter_published(self, filter_, partition: int) -> None:
+        partials = self._df_partials.setdefault(filter_.filter_id, {})
+        if partition in partials:
+            # A recovered build task replayed and republished; content is
+            # order-independent, so the copy is bit-identical — drop it.
+            self.cluster.df_filters_republished += 1
+            return
+        partials[partition] = filter_
+        # Simulated collection/propagation latency: the filter becomes
+        # usable one network hop after the last partial is published.
+        self.cluster.sim.schedule(
+            self.cluster.config.dynamic_filter_latency_ms,
+            lambda: self._merge_dynamic_filter(filter_.filter_id),
+        )
+
+    def _merge_dynamic_filter(self, filter_id: str) -> None:
+        if self.state != "running" or filter_id in self._df_ready:
+            return
+        partials = self._df_partials.get(filter_id, {})
+        expected = self._df_expected.get(filter_id)
+        if expected is None or len(partials) < expected:
+            return  # partitioned build: other tasks' key slices pending
+        merged = None
+        for partition in sorted(partials):
+            part = partials[partition]
+            merged = part if merged is None else merged.union(part)
+        self._df_ready[filter_id] = merged
+        self.cluster.df_filters_published += 1
+
+    def _aggregate_df_counters(self, task: SimTask) -> None:
+        rows = sum(op.df_rows_filtered for op in task.scan_operators)
+        pruned = sum(op.df_splits_pruned for op in task.scan_operators)
+        if not rows and not pruned:
+            return
+        last_rows, last_pruned = self._df_counter_seen.get(task.task_id, (0, 0))
+        self.cluster.df_rows_filtered += rows - last_rows
+        self.cluster.df_splits_pruned += pruned - last_pruned
+        self._df_counter_seen[task.task_id] = (rows, pruned)
 
     def _check_done(self) -> None:
         if self.state != "running":

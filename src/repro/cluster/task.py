@@ -34,6 +34,9 @@ class SimTaskPlanner(LocalExecutionPlanner):
     def __init__(self, metadata: Metadata, task: "SimTask"):
         super().__init__(metadata)
         self.task = task
+        # Build operators publish into the task-local registry; the
+        # coordinator drains it after each quantum (repro.cluster.query).
+        self.dynamic_filters = task.dynamic_filters
 
     def plan_fragment(self, fragment: PlanFragment) -> list[Driver]:
         operators, symbols = self.visit(fragment.root)
@@ -50,6 +53,12 @@ class SimTaskPlanner(LocalExecutionPlanner):
         connector = self.metadata.connector(node.table.catalog)
         columns = [node.assignments[s] for s in node.outputs]
         scan = TableScanOperator(connector, columns)
+        # Same-fragment (broadcast-join) filters apply live through the
+        # task registry — except under task recovery, where page content
+        # must be a pure function of the replayed split log, so filters
+        # reach the scan only via coordinator-attached splits.
+        if not self.task.recovery_active:
+            self._attach_scan_filters(scan, node, columns)
         self.task.scan_operators.append(scan)
         return [scan], list(node.outputs)
 
@@ -104,6 +113,14 @@ class SimTask:
         # and re-request streams by this key, not by task_id.
         self.attempt = attempt
         self.producer_key = (fragment.id, partition)
+        # Dynamic filters published by this task's build operators; the
+        # coordinator drains new entries after each quantum. retain_output
+        # doubles as the "task recovery active" signal: replayed tasks
+        # must not apply filters live (timing-dependent page content).
+        from repro.exec.dynamic_filters import DynamicFilterRegistry
+
+        self.dynamic_filters = DynamicFilterRegistry()
+        self.recovery_active = retain_output
         self.scan_operators: list[TableScanOperator] = []
         self.exchange_clients: dict[tuple, ExchangeClient] = {}
         for key, (symbols, ordering) in remote_source_symbols.items():

@@ -87,6 +87,11 @@ class LocalExecutionPlanner:
         self.metadata = metadata
         self.interpreted = interpreted
         self.pipelines: list[list[Operator]] = []
+        # Live dynamic-filter exchange between build operators and probe
+        # scans planned from the same tree (repro.exec.dynamic_filters).
+        from repro.exec.dynamic_filters import DynamicFilterRegistry
+
+        self.dynamic_filters = DynamicFilterRegistry()
 
     # -- public API ------------------------------------------------------------
 
@@ -119,12 +124,40 @@ class LocalExecutionPlanner:
             layout = layouts[0]
         columns = [node.assignments[s] for s in node.outputs]
         scan = TableScanOperator(connector, columns)
+        self._attach_scan_filters(scan, node, columns)
         source = connector.split_source(layout)
         while not source.is_finished():
             for split in source.get_next_batch(1000):
                 scan.add_split(split)
         scan.no_more_splits()
         return [scan], list(node.outputs)
+
+    def _attach_scan_filters(self, scan, node: plan.TableScanNode, columns) -> None:
+        """Wire the scan to the plan-wide registry for every dynamic
+        filter the optimizer annotated it with."""
+        if not node.dynamic_filters or self.dynamic_filters is None:
+            return
+        specs = [
+            (filter_id, columns.index(column))
+            for filter_id, column in sorted(node.dynamic_filters.items())
+            if column in columns
+        ]
+        if specs:
+            scan.attach_dynamic_filters(specs, self.dynamic_filters)
+
+    def _build_filter_specs(self, node) -> list[tuple[str, int]]:
+        """(filter id, build key channel index) pairs for a join node's
+        annotated dynamic filters."""
+        if self.dynamic_filters is None:
+            return []
+        return sorted(
+            (filter_id, index)
+            for filter_id, index in node.dynamic_filter_ids.items()
+        )
+
+    def _publish_dynamic_filter(self, filter_) -> None:
+        if self.dynamic_filters is not None:
+            self.dynamic_filters.publish(filter_)
 
     def _visit_ValuesNode(self, node: plan.ValuesNode):
         rows = [
@@ -257,7 +290,17 @@ class LocalExecutionPlanner:
             return probe_ops, output_symbols
         build_keys = [_channel(build_symbols, c.right) for c in node.criteria]
         probe_keys = [_channel(probe_symbols, c.left) for c in node.criteria]
-        build_ops.append(HashBuildOperator(bridge, build_keys))
+        df_specs = [
+            (fid, build_keys[index]) for fid, index in self._build_filter_specs(node)
+        ]
+        build_ops.append(
+            HashBuildOperator(
+                bridge,
+                build_keys,
+                dynamic_filters=df_specs,
+                on_dynamic_filter=self._publish_dynamic_filter,
+            )
+        )
         self.pipelines.append(build_ops)
         residual = None
         if node.filter is not None:
@@ -290,7 +333,10 @@ class LocalExecutionPlanner:
         bridge = SemiJoinBridge()
         build_ops.append(
             SemiJoinBuildOperator(
-                bridge, [_channel(build_symbols, k) for k in node.filtering_keys]
+                bridge,
+                [_channel(build_symbols, k) for k in node.filtering_keys],
+                dynamic_filters=self._build_filter_specs(node),
+                on_dynamic_filter=self._publish_dynamic_filter,
             )
         )
         self.pipelines.append(build_ops)

@@ -85,10 +85,20 @@ class HashBuildOperator(Operator):
 
     name = "HashBuild"
 
-    def __init__(self, bridge: JoinBridge, key_channels: Sequence[int]):
+    def __init__(
+        self,
+        bridge: JoinBridge,
+        key_channels: Sequence[int],
+        dynamic_filters: Sequence[tuple[str, int]] = (),
+        on_dynamic_filter: Optional[Callable] = None,
+    ):
         super().__init__()
         self.bridge = bridge
         self.key_channels = list(key_channels)
+        # (filter id, key channel) pairs to summarize at finish time
+        # (repro.exec.dynamic_filters); the callback publishes them.
+        self.dynamic_filter_specs = list(dynamic_filters)
+        self.on_dynamic_filter = on_dynamic_filter
         self._pages: list[Page] = []
         self._finished = False
         self._retained = 0
@@ -110,6 +120,14 @@ class HashBuildOperator(Operator):
         self._finished = True
         combined = concat_pages(self._pages)
         row_count = combined.row_count if combined is not None else 0
+        if self.dynamic_filter_specs and self.on_dynamic_filter is not None:
+            from repro.exec.dynamic_filters import DynamicFilter
+
+            for filter_id, channel in self.dynamic_filter_specs:
+                block = combined.block(channel) if combined is not None else None
+                self.on_dynamic_filter(
+                    DynamicFilter.from_block(filter_id, block, row_count)
+                )
         multimap = None
         if combined is not None:
             multimap = VectorMultiMap.build(
@@ -386,12 +404,21 @@ class SemiJoinBuildOperator(Operator):
 
     name = "SemiJoinBuild"
 
-    def __init__(self, bridge: SemiJoinBridge, key_channels):
+    def __init__(
+        self,
+        bridge: SemiJoinBridge,
+        key_channels,
+        dynamic_filters: Sequence[tuple[str, int]] = (),
+        on_dynamic_filter: Optional[Callable] = None,
+    ):
         super().__init__()
         self.bridge = bridge
         self.key_channels = (
             list(key_channels) if isinstance(key_channels, (list, tuple)) else [key_channels]
         )
+        # (filter id, key index) pairs to summarize at finish time.
+        self.dynamic_filter_specs = list(dynamic_filters)
+        self.on_dynamic_filter = on_dynamic_filter
         self._values: set = set()
         self._has_null = False
         self._finished = False
@@ -425,6 +452,17 @@ class SemiJoinBuildOperator(Operator):
     def finish(self) -> None:
         if not self._finished:
             self._finished = True
+            if self.dynamic_filter_specs and self.on_dynamic_filter is not None:
+                from repro.exec.dynamic_filters import DynamicFilter
+
+                for filter_id, index in self.dynamic_filter_specs:
+                    # _values holds only complete non-null key tuples —
+                    # exactly the keys a probe row could still match.
+                    if len(self.key_channels) > 1:
+                        raw = [key[index] for key in self._values]
+                    else:
+                        raw = list(self._values)
+                    self.on_dynamic_filter(DynamicFilter.from_values(filter_id, raw))
             self.bridge.set(self._values, self._has_null)
 
     def is_finished(self) -> bool:

@@ -110,10 +110,13 @@ class PageProcessor:
             else:
                 self._single_channels.append(None)
         self._heuristic = _DictionaryHeuristic()
-        # Dictionary result cache: (projection index, id(dictionary)) ->
-        # processed dictionary block — "when successive blocks share the
-        # same dictionary, the page processor retains the array".
-        self._dictionary_cache: dict[tuple[int, int], Block] = {}
+        # Dictionary result cache: projection index -> (dictionary,
+        # processed block) — "when successive blocks share the same
+        # dictionary, the page processor retains the array". The source
+        # dictionary is kept alive and compared by identity; a bare
+        # id() key could collide with a recycled address after the
+        # previous dictionary is freed.
+        self._dictionary_cache: dict[int, tuple[Block, Block]] = {}
 
     def process(self, page: Page) -> Optional[Page]:
         if self.interpreted:
@@ -190,6 +193,15 @@ class PageProcessor:
                     processed = self._process_dictionary(index, compiled, channel, dictionary)
                     indices = block.indices if selected is None else block.indices[selected]
                     self._heuristic.record(len(dictionary), row_count)
+                    # Null rows carry index -1, which bypasses the
+                    # dictionary: if the projection maps NULL to a
+                    # value (coalesce, IS NULL, CASE ...), retarget
+                    # them at the sentinel entry _process_dictionary
+                    # appended for a NULL input.
+                    nulls = indices < 0
+                    if nulls.any() and not processed.is_null(len(dictionary)):
+                        indices = indices.copy()
+                        indices[nulls] = len(dictionary)
                     return DictionaryBlock(processed, indices)
         # General path: vectorized evaluation over (selected) rows.
         sub = ctx if selected is None else ctx.subset(selected)
@@ -199,22 +211,25 @@ class PageProcessor:
     def _process_dictionary(
         self, index: int, compiled: CompiledExpression, channel: int, dictionary: Block
     ) -> Block:
-        key = (index, id(dictionary))
-        cached = self._dictionary_cache.get(key)
-        if cached is not None:
-            return cached
+        cached = self._dictionary_cache.get(index)
+        if cached is not None and cached[0] is dictionary:
+            return cached[1]
         width = len(self.input_symbols)
         out_values = []
         for position in range(len(dictionary)):
             row = _single_row(width, channel, dictionary.get(position))
             out_values.append(compiled.evaluate_row(row))
+        # Sentinel entry: the projection applied to a NULL input, used
+        # by _project to retarget -1 (null) indices when the result is
+        # itself non-null.
+        out_values.append(compiled.evaluate_row(_single_row(width, channel, None)))
         processed: Block = ObjectBlock(out_values)
         from repro.exec.blocks import is_primitive_type, make_block
 
         if is_primitive_type(compiled.type):
             processed = make_block(compiled.type, out_values)
         # Retain only the most recent dictionary per projection.
-        self._dictionary_cache = {key: processed}
+        self._dictionary_cache = {index: (dictionary, processed)}
         return processed
 
 

@@ -17,6 +17,15 @@ every result against the reference oracle:
    is crashed mid-query and transfers suffer transient failures and
    duplication, but heartbeat detection plus task-level recovery must
    complete the query bit-exactly *without* a client retry
+8. ``dynamic_filter`` — SimCluster with runtime dynamic filtering
+   forced onto every eligible join edge (selectivity threshold 1.0,
+   nonzero wait) — filters on must agree bit-exactly with filters off
+9. ``hive``        — SimCluster over the Hive connector with tiny
+   stripes/files and Bloom metadata on every column, dynamic filters
+   forced, so stripe skipping and split pruning engage
+10. ``raptor``     — SimCluster over the Raptor connector (node-pinned
+   shards, tiny stripes), dynamic filters forced, exercising shard
+   pruning
 
 Errors are outcomes too: if the oracle raises, every configuration must
 raise an error of the same class.
@@ -47,6 +56,9 @@ CONFIG_NAMES = (
     "cluster",
     "cluster_faults",
     "chaos",
+    "dynamic_filter",
+    "hive",
+    "raptor",
 )
 
 # The case currently (or most recently) executing. Deliberately NOT
@@ -173,7 +185,21 @@ def _local_engine(tables, optimize: bool, interpreted: bool) -> LocalEngine:
     return engine
 
 
-def _cluster(tables, faults: bool, recovery: bool = False) -> SimCluster:
+def _forced_df_optimizer():
+    """Force dynamic filters onto every eligible join edge and make the
+    split scheduler actually wait for them, so the filtered code paths
+    (page masks, split pruning, wait policy) run on small fuzz tables."""
+    from repro.optimizer.context import OptimizerConfig
+
+    return OptimizerConfig(
+        dynamic_filter_selectivity_threshold=1.0,
+        dynamic_filter_wait_ms=5.0,
+    )
+
+
+def _cluster(
+    tables, faults: bool, recovery: bool = False, dynamic_filters: bool = False
+) -> SimCluster:
     from repro.cluster import FaultToleranceConfig
 
     config = ClusterConfig(
@@ -184,9 +210,55 @@ def _cluster(tables, faults: bool, recovery: bool = False) -> SimCluster:
         transfer_duplicate_rate=0.05 if recovery else 0.0,
         fault_tolerance=FaultToleranceConfig(enabled=recovery),
     )
+    if dynamic_filters:
+        config.optimizer = _forced_df_optimizer()
     cluster = SimCluster(config)
     connector = MemoryConnector()
     load_tables(connector, tables)
+    cluster.register_catalog("memory", connector)
+    return cluster
+
+
+def _connector_cluster(tables, kind: str) -> SimCluster:
+    """A cluster whose default catalog is a real storage connector (Hive
+    or Raptor) with tiny stripes/files, so stripe skipping, Bloom
+    metadata, and dynamic-filter split pruning all engage on fuzz-sized
+    tables — differentially tested against the same oracle."""
+    config = ClusterConfig(
+        worker_count=3,
+        default_catalog="memory",
+        default_schema="default",
+        optimizer=_forced_df_optimizer(),
+    )
+    cluster = SimCluster(config)
+    if kind == "hive":
+        from repro.connectors.hive import HiveConnector
+
+        connector = HiveConnector(
+            stripe_rows=16,
+            max_rows_per_file=32,
+            bloom_columns=("k", "n", "m", "x", "y", "s", "u"),
+        )
+    else:
+        from repro.connectors.raptor import RaptorConnector
+
+        connector = RaptorConnector(
+            hosts=[f"worker-{i}" for i in range(3)],
+            catalog_name="memory",
+            stripe_rows=16,
+            max_rows_per_shard=32,
+        )
+    from repro.workload.datasets import _load_table
+
+    for table in tables:
+        _load_table(
+            connector,
+            "memory",
+            "default",
+            table.name,
+            [(c.name, c.type) for c in table.columns],
+            list(table.rows),
+        )
     cluster.register_catalog("memory", connector)
     return cluster
 
@@ -265,6 +337,15 @@ def run_config(name: str, case_tables, sql: str) -> Outcome:
         return _capture(lambda: _run_faulted(case_tables, sql))
     if name == "chaos":
         return _capture(lambda: _run_chaos(case_tables, sql))
+    if name == "dynamic_filter":
+        cluster = _cluster(case_tables, faults=False, dynamic_filters=True)
+        return _capture(lambda: cluster.run_query(sql).rows())
+    if name == "hive":
+        cluster = _connector_cluster(case_tables, "hive")
+        return _capture(lambda: cluster.run_query(sql).rows())
+    if name == "raptor":
+        cluster = _connector_cluster(case_tables, "raptor")
+        return _capture(lambda: cluster.run_query(sql).rows())
     raise ValueError(f"unknown config {name!r}")
 
 

@@ -241,6 +241,24 @@ class ClusterMemoryManager:
             self.reserved_holder = None
         self.trackers.pop(query_id, None)
 
+    def release_node(self, node: str) -> int:
+        """A node was declared dead: its reservations no longer back real
+        allocations, so release them now rather than at query end — the
+        global user-bytes accounting must not count memory on a corpse.
+        Returns the number of bytes released."""
+        pool = self.pools.get(node)
+        if pool is None:
+            return 0
+        released = pool.general_used + pool.reserved_used
+        pool.general_used = 0
+        pool.reserved_used = 0
+        pool.general_by_query.clear()
+        pool.reserved_query = None
+        for tracker in self.trackers.values():
+            tracker.user_bytes_by_node.pop(node, None)
+            tracker.system_bytes_by_node.pop(node, None)
+        return released
+
     def _kill(self, query_id: str) -> None:
         self.queries_killed_for_memory.append(query_id)
         self.release_query(query_id)

@@ -28,6 +28,21 @@ class OptimizerConfig:
     # Probe row bound for choosing an index join over a hash join.
     index_join_probe_limit: float = 100_000.0
     max_optimizer_iterations: int = 20
+    # Runtime dynamic filtering (build-side join domains pushed into
+    # probe scans and split pruning). The planning pass annotates a
+    # join edge only when the build side is small enough to summarize
+    # and stats suggest the filter keeps at most
+    # ``dynamic_filter_selectivity_threshold`` of the probe's distinct
+    # keys (unknown stats enable optimistically — the wait policy
+    # bounds the downside).
+    dynamic_filtering_enabled: bool = True
+    dynamic_filter_max_build_rows: float = 1_000_000.0
+    dynamic_filter_selectivity_threshold: float = 0.9
+    # How long a probe scan's split scheduling may stall waiting for
+    # build-side filters before degrading to unfiltered reads
+    # (virtual-clock ms; 0 = apply filters opportunistically, never
+    # stall).
+    dynamic_filter_wait_ms: float = 0.0
 
 
 @dataclass

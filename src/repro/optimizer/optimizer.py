@@ -5,6 +5,7 @@ from __future__ import annotations
 
 from repro.catalog.metadata import Metadata
 from repro.optimizer.context import OptimizerConfig, OptimizerContext
+from repro.optimizer.rules.dynamic_filters import plan_dynamic_filters
 from repro.optimizer.rules.joins import (
     reorder_joins,
     select_index_joins,
@@ -61,6 +62,9 @@ def optimize_plan(
     root, _ = select_index_joins(root, context)
     root, _ = select_join_distribution(root, context)
     root = _fixed_point(root, context)
+    # Annotate runtime dynamic filters once the plan shape is final
+    # (join order, distribution, and column pruning all settled).
+    root, _ = plan_dynamic_filters(root, context)
 
     return Plan(root, plan.column_names, plan.column_types)
 

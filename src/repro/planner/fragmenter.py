@@ -186,7 +186,21 @@ def _visit(node: plan.PlanNode) -> tuple[plan.PlanNode, StreamProperties]:  # no
         new_sources = []
         for i, source in enumerate(node.sources_):
             new_source, source_props = _visit(source)
-            if not source_props.single and i > 0:
+            if i == 0:
+                # INTERSECT/EXCEPT dedupe the left stream task-locally;
+                # a distributed left side must be hash-repartitioned on
+                # the compared columns or equal rows in different tasks
+                # would each survive.
+                keys = tuple(node.symbol_mapping[0][out] for out in node.outputs)
+                key_names = {s.name for s in keys}
+                if not (
+                    source_props.single
+                    or source_props.partitioned_on_subset(key_names)
+                ):
+                    new_source = _remote(
+                        new_source, plan.ExchangeKind.REPARTITION, keys=list(keys)
+                    )
+            elif not source_props.single:
                 new_source = _remote(new_source, plan.ExchangeKind.REPLICATE)
             new_sources.append(new_source)
         return node.replace_sources(new_sources), StreamProperties()

@@ -1,0 +1,19 @@
+"""Auto-generated fuzz reproducer (seed 31).
+
+Configs that disagreed with the oracle before the fix: hive, raptor.
+Original query:
+    SELECT a.m AS k0, a.u AS k1, avg(a.y) AS m0, count(DISTINCT a.k) AS m1, sum(coalesce(a.k, 0)) AS m2 FROM t1 AS a GROUP BY a.m, a.u
+"""
+
+from repro.fuzz.runner import check_tables_sql
+
+TABLES = [
+    ('t1', [('k', 'bigint'), ('m', 'bigint'), ('y', 'double'), ('u', 'varchar')], [(8, 54, None, 'red'), (None, 74, 15.34, 'green')]),
+]
+
+SQL = 'SELECT count(DISTINCT a.k) AS m1, sum(coalesce(a.k, 0)) AS m2 FROM t1 AS a GROUP BY a.u'
+
+
+def test_repro_seed_31():
+    disagreements = check_tables_sql(TABLES, SQL)
+    assert disagreements == [], "\n".join(str(d) for d in disagreements)

@@ -1,0 +1,20 @@
+"""Auto-generated fuzz reproducer (seed 45).
+
+Configs that disagreed with the oracle before the fix: raptor.
+Original query:
+    SELECT c0 AS c0 FROM (SELECT a.n AS c0 FROM t0 AS a EXCEPT SELECT abs(CASE WHEN (a.u LIKE '_') THEN a.m ELSE 7 END) AS c0 FROM t1 AS a WHERE (a.u LIKE 'x')) AS s ORDER BY c0 DESC NULLS LAST
+"""
+
+from repro.fuzz.runner import check_tables_sql
+
+TABLES = [
+    ('t0', [('k', 'bigint'), ('n', 'bigint'), ('x', 'double'), ('s', 'varchar')], [(3, None, 19.69, 'blue'), (1, -3, 11.4, 'red'), (6, None, 6.6, 'y'), (6, 5, -4.71, None), (0, -4, 5.64, None), (5, 2, -11.37, 'teal'), (0, 5, -18.67, ''), (0, -2, None, None), (5, 4, 12.54, ''), (6, None, 10.78, 'teal'), (6, None, -10.16, 'red'), (4, -4, -14.09, 'red'), (2, None, 4.59, 'x'), (1, 5, -14.59, 'green'), (0, -3, -8.89, 'y'), (2, 4, -6.4, 'blue'), (0, None, 1.54, 'red'), (5, 0, 5.09, None), (0, 1, -14.97, 'green'), (2, 5, 1.2, ''), (1, -4, 0.28, 'green'), (5, -3, 10.26, 'teal'), (6, -2, 14.84, 'red'), (1, -2, 9.83, 'y'), (2, None, 8.87, 'green'), (4, None, -1.0, 'x'), (2, 0, None, None), (1, 5, 9.48, None), (1, -3, 13.98, None), (7, 2, 0.46, 'y'), (2, None, -15.18, None), (2, -5, -12.71, 'red'), (1, -5, 10.42, 'green')]),
+    ('t1', [('k', 'bigint'), ('m', 'bigint'), ('y', 'double'), ('u', 'varchar')], []),
+]
+
+SQL = "SELECT c0 AS c0 FROM (SELECT a.n AS c0 FROM t0 AS a EXCEPT SELECT abs(CASE WHEN (a.u LIKE '_') THEN a.m ELSE 7 END) AS c0 FROM t1 AS a) AS s"
+
+
+def test_repro_seed_45():
+    disagreements = check_tables_sql(TABLES, SQL)
+    assert disagreements == [], "\n".join(str(d) for d in disagreements)

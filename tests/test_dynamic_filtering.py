@@ -1,0 +1,377 @@
+"""Runtime dynamic filtering (docs/EXECUTION.md "Dynamic filtering").
+
+Build-side join key domains are summarized into DynamicFilters, applied
+to probe scans as vectorized page masks, and propagated through the
+coordinator to prune splits (Hive partitions/stripes, Raptor shards).
+"""
+
+import numpy as np
+import pytest
+
+from repro.client import LocalEngine
+from repro.cluster import ClusterConfig, FaultToleranceConfig, SimCluster
+from repro.connectors.memory import MemoryConnector
+from repro.exec import kernels
+from repro.exec.blocks import ObjectBlock, make_block
+from repro.types import DOUBLE
+from repro.exec.dynamic_filters import (
+    DynamicFilter,
+    DynamicFilterRegistry,
+    constraint_from,
+)
+from repro.optimizer.context import OptimizerConfig
+from repro.types import BIGINT, VARCHAR
+
+
+def forced_df_optimizer(wait_ms: float = 50.0) -> OptimizerConfig:
+    return OptimizerConfig(
+        dynamic_filter_selectivity_threshold=1.0,
+        dynamic_filter_wait_ms=wait_ms,
+    )
+
+
+def memory_cluster(optimizer=None, **config_overrides) -> tuple[SimCluster, MemoryConnector]:
+    config = ClusterConfig(
+        worker_count=3,
+        default_catalog="memory",
+        default_schema="default",
+        optimizer=optimizer or forced_df_optimizer(),
+        **config_overrides,
+    )
+    cluster = SimCluster(config)
+    connector = MemoryConnector()
+    cluster.register_catalog("memory", connector)
+    return cluster, connector
+
+
+def load_fact_dim(connector, fact_rows=5000, dim_keys=(0, 1, 2)):
+    connector.create_table_with_data(
+        "memory", "default", "fact",
+        [("k", BIGINT), ("g", BIGINT)],
+        [(i, i % 100) for i in range(fact_rows)],
+    )
+    connector.create_table_with_data(
+        "memory", "default", "dim",
+        [("k", BIGINT), ("name", VARCHAR)],
+        [(k, f"n{k}") for k in dim_keys],
+    )
+
+
+# ---------------------------------------------------------------------------
+# DynamicFilter unit behavior
+# ---------------------------------------------------------------------------
+
+
+def test_from_block_matches_from_values():
+    values = [7, None, 3, 7, 11, None, 3]
+    vector = DynamicFilter.from_block("df_0", make_block(BIGINT, values), len(values))
+    rows = DynamicFilter.from_values("df_0", values)
+    assert vector.same_content(rows)
+    assert vector.values == (3, 7, 11)
+    assert (vector.low, vector.high) == (3, 11)
+
+
+def test_float_canonicalization_and_nan():
+    values = [-0.0, 1.5, float("nan"), None]
+    vector = DynamicFilter.from_block("df_0", make_block(DOUBLE, values), len(values))
+    rows = DynamicFilter.from_values("df_0", values)
+    assert vector.same_content(rows)
+    # NaN never matches an equi-join; -0.0 is canonicalized.
+    assert vector.values == (0.0, 1.5)
+    assert vector.contains_value(0.0) and not vector.contains_value(2.5)
+
+
+def test_mask_vector_and_row_paths_agree():
+    filter_ = DynamicFilter.from_values("df_0", list(range(0, 200, 3)))
+    probe = make_block(BIGINT, [1, 3, 6, None, 199, 198, 500])
+    vector_mask = filter_.mask(probe, 7)
+    with kernels.forced_mode(kernels.ROW):
+        row_mask = filter_.mask(probe, 7)
+    assert vector_mask is not None and row_mask is not None
+    assert np.array_equal(vector_mask, row_mask)
+    assert list(vector_mask) == [False, True, True, False, False, True, False]
+
+
+def test_union_of_partition_partials():
+    a = DynamicFilter.from_values("df_0", [1, 2])
+    b = DynamicFilter.from_values("df_0", [90, 91])
+    merged = a.union(b)
+    assert merged.values == (1, 2, 90, 91)
+    assert (merged.low, merged.high) == (1, 91)
+    assert merged.contains_value(90) and not merged.contains_value(50)
+    empty = DynamicFilter.from_values("df_0", [None])
+    assert empty.union(a).same_content(a)
+    assert a.union(empty).same_content(a)
+
+
+def test_empty_filter_prunes_everything():
+    empty = DynamicFilter.from_values("df_0", [])
+    assert empty.to_domain().is_none()
+    mask = empty.mask(make_block(BIGINT, [1, 2, 3]), 3)
+    assert mask is not None and not mask.any()
+
+
+def test_large_build_falls_back_to_range_and_bloom():
+    filter_ = DynamicFilter.from_values("df_0", list(range(0, 1000, 2)))
+    assert filter_.values is None  # beyond the IN-list limit
+    assert (filter_.low, filter_.high) == (0, 998)
+    assert filter_.contains_value(500)
+    assert not filter_.contains_value(-5)  # range check
+    assert not filter_.contains_value(501) or filter_.contains_value(501)  # bloom: no false negatives
+    mask = filter_.mask(make_block(BIGINT, [4, 5, 1200]), 3)
+    assert mask[0] and not mask[2]  # 1200 outside [0, 998]
+
+
+def test_registry_first_wins_and_drain():
+    registry = DynamicFilterRegistry()
+    first = DynamicFilter.from_values("df_0", [1])
+    duplicate = DynamicFilter.from_values("df_0", [1])
+    assert registry.publish(first)
+    assert not registry.publish(duplicate)
+    assert registry.get("df_0") is first
+    assert registry.drain_published() == [first]
+    assert registry.drain_published() == []
+
+
+def test_constraint_from_filters():
+    filter_ = DynamicFilter.from_values("df_0", [3, 5])
+    constraint = constraint_from([("k", filter_)])
+    domain = constraint.domains["k"]
+    assert set(domain.single_values()) == {3, 5}
+
+
+def test_object_keys_row_path():
+    values = ["red", None, "blue"]
+    filter_ = DynamicFilter.from_block("df_0", ObjectBlock(values), 3)
+    assert filter_.contains_value("red") and not filter_.contains_value("teal")
+    mask = filter_.mask(ObjectBlock(["blue", "x", None]), 3)
+    assert list(mask) == [True, False, False]
+
+
+# ---------------------------------------------------------------------------
+# Local engine: same-plan application through the registry
+# ---------------------------------------------------------------------------
+
+
+def test_local_join_results_unchanged():
+    engine = LocalEngine()
+    connector = MemoryConnector()
+    load_fact_dim(connector)
+    engine.register_catalog("memory", connector)
+    rows = engine.execute(
+        "SELECT count(*), sum(f.k) FROM fact f JOIN dim d ON f.g = d.k"
+    ).rows
+    expected_count = sum(1 for i in range(5000) if i % 100 in (0, 1, 2))
+    expected_sum = sum(i for i in range(5000) if i % 100 in (0, 1, 2))
+    assert rows == [(expected_count, expected_sum)]
+
+
+def test_plan_annotation_appears_in_explain():
+    engine = LocalEngine()
+    connector = MemoryConnector()
+    load_fact_dim(connector)
+    engine.register_catalog("memory", connector)
+    plan_text = engine.execute(
+        "EXPLAIN SELECT count(*) FROM fact f JOIN dim d ON f.g = d.k"
+    ).rows[0][0]
+    assert "dynamic_filters=[df_0(" in plan_text
+    assert "df=[df_0]" in plan_text
+
+
+# ---------------------------------------------------------------------------
+# Cluster: df.* counters, filters on vs off, connectors, recovery
+# ---------------------------------------------------------------------------
+
+
+def test_df_counters_nonzero_on_selective_join():
+    """Tier-1 smoke: df.* counters appear in stats_snapshot and are
+    nonzero on a selective join."""
+    cluster, connector = memory_cluster()
+    load_fact_dim(connector)
+    handle = cluster.run_query(
+        "SELECT count(*) FROM fact f JOIN dim d ON f.g = d.k"
+    )
+    assert handle.rows() == [(150,)]
+    snapshot = cluster.stats_snapshot()
+    for counter in (
+        "df.filters_published",
+        "df.filters_republished",
+        "df.splits_pruned",
+        "df.rows_filtered",
+        "df.waits_expired",
+    ):
+        assert counter in snapshot
+    assert snapshot["df.filters_published"] > 0
+    assert snapshot["df.rows_filtered"] > 0
+
+
+def test_filters_on_off_agree_and_filtering_is_faster():
+    sql = (
+        "SELECT f.g, count(*), sum(f.k) FROM fact f JOIN dim d ON f.g = d.k "
+        "GROUP BY f.g ORDER BY f.g"
+    )
+    on_cluster, on_conn = memory_cluster()
+    load_fact_dim(on_conn, fact_rows=20000)
+    off_cluster, off_conn = memory_cluster(
+        optimizer=OptimizerConfig(dynamic_filtering_enabled=False)
+    )
+    load_fact_dim(off_conn, fact_rows=20000)
+    on_rows = on_cluster.run_query(sql).rows()
+    off_rows = off_cluster.run_query(sql).rows()
+    assert on_rows == off_rows
+    assert on_cluster.stats_snapshot()["df.rows_filtered"] > 0
+
+
+def test_semi_join_publishes_filter():
+    cluster, connector = memory_cluster()
+    load_fact_dim(connector)
+    handle = cluster.run_query(
+        "SELECT count(*) FROM fact WHERE g IN (SELECT k FROM dim)"
+    )
+    assert handle.rows() == [(150,)]
+    assert cluster.stats_snapshot()["df.filters_published"] > 0
+
+
+def hive_cluster():
+    from repro.connectors.hive import HiveConnector
+
+    cluster, memory = memory_cluster()
+    hive = HiveConnector(
+        stripe_rows=200, max_rows_per_file=400, bloom_columns=("k",)
+    )
+    cluster.register_catalog("hive", hive)
+    return cluster, memory, hive
+
+
+def test_hive_split_and_stripe_pruning():
+    cluster, memory, hive = hive_cluster()
+    memory.create_table_with_data(
+        "memory", "default", "dim", [("k", BIGINT)], [(7,), (2007,)]
+    )
+    memory.create_table_with_data(
+        "memory", "default", "src",
+        [("k", BIGINT), ("p", BIGINT)],
+        [(i, i % 10) for i in range(4000)],
+    )
+    cluster.run_query(
+        "CREATE TABLE hive.default.fact WITH (partitioned_by = 'p') AS "
+        "SELECT k, p FROM src"
+    )
+    handle = cluster.run_query(
+        "SELECT count(*) FROM hive.default.fact f JOIN dim d ON f.k = d.k"
+    )
+    assert handle.rows() == [(2,)]
+    snapshot = cluster.stats_snapshot()
+    assert snapshot["df.splits_pruned"] > 0
+
+
+def test_hive_partition_value_pruning():
+    cluster, memory, hive = hive_cluster()
+    # Join ON the partition column: files of non-matching partitions are
+    # pruned by partition value alone (no file stats needed).
+    memory.create_table_with_data(
+        "memory", "default", "dim", [("k", BIGINT)], [(3,)]
+    )
+    memory.create_table_with_data(
+        "memory", "default", "src",
+        [("k", BIGINT), ("p", BIGINT)],
+        [(i, i % 10) for i in range(4000)],
+    )
+    cluster.run_query(
+        "CREATE TABLE hive.default.fact WITH (partitioned_by = 'p') AS "
+        "SELECT k, p FROM src"
+    )
+    before = hive.dfs.reads
+    handle = cluster.run_query(
+        "SELECT count(*) FROM hive.default.fact f JOIN dim d ON f.p = d.k"
+    )
+    assert handle.rows() == [(400,)]
+    snapshot = cluster.stats_snapshot()
+    assert snapshot["df.splits_pruned"] > 0
+    # Only the matching partition's files were opened.
+    table = hive.metastore.require_table("default", "fact")
+    matching_files = len(table.partitions[(3,)].file_paths)
+    assert hive.dfs.reads - before == matching_files
+
+
+def test_raptor_shard_pruning():
+    from repro.connectors.raptor import RaptorConnector
+
+    cluster, memory = memory_cluster()
+    raptor = RaptorConnector(
+        hosts=cluster.worker_hosts, stripe_rows=200, max_rows_per_shard=400
+    )
+    cluster.register_catalog("raptor", raptor)
+    memory.create_table_with_data(
+        "memory", "default", "dim", [("k", BIGINT)], [(7,), (2007,)]
+    )
+    memory.create_table_with_data(
+        "memory", "default", "src", [("k", BIGINT)], [(i,) for i in range(4000)]
+    )
+    cluster.run_query("CREATE TABLE raptor.default.fact AS SELECT k FROM src")
+    handle = cluster.run_query(
+        "SELECT count(*) FROM raptor.default.fact f JOIN dim d ON f.k = d.k"
+    )
+    assert handle.rows() == [(2,)]
+    assert cluster.stats_snapshot()["df.splits_pruned"] > 0
+
+
+def test_recovery_republish_is_bit_exact():
+    """A worker crash mid-query: recovered build tasks republish, the
+    coordinator dedups by build partition, and results stay bit-exact."""
+    sql = (
+        "SELECT f.g, count(*), sum(f.k) FROM fact f JOIN dim d ON f.g = d.k "
+        "GROUP BY f.g ORDER BY f.g"
+    )
+    baseline_cluster, baseline_conn = memory_cluster()
+    load_fact_dim(baseline_conn)
+    baseline = baseline_cluster.run_query(sql).rows()
+
+    cluster, connector = memory_cluster(
+        fault_tolerance=FaultToleranceConfig(enabled=True),
+        transfer_duplicate_rate=0.05,
+    )
+    load_fact_dim(connector)
+    handle = cluster.submit(sql)
+    cluster.sim.run(until_ms=1.0)
+    cluster.crash_worker("worker-2")
+    cluster.run()
+    assert handle.state == "finished"
+    assert handle.rows() == baseline
+    snapshot = cluster.stats_snapshot()
+    assert snapshot["ft.tasks_recovered"] > 0
+    # Republications (if the filter had already been collected) are
+    # deduped, never double-merged.
+    assert snapshot["df.filters_republished"] >= 0
+
+
+def test_wait_policy_expires_gracefully():
+    # Zero-latency wait expires immediately: scans degrade to unfiltered
+    # reads rather than stalling, and results are still correct.
+    cluster, connector = memory_cluster(optimizer=forced_df_optimizer(wait_ms=0.0))
+    load_fact_dim(connector)
+    handle = cluster.run_query("SELECT count(*) FROM fact f JOIN dim d ON f.g = d.k")
+    assert handle.rows() == [(150,)]
+
+
+def test_dead_node_memory_released_at_detection():
+    cluster, connector = memory_cluster(
+        fault_tolerance=FaultToleranceConfig(enabled=True)
+    )
+    connector.create_table_with_data(
+        "memory", "default", "t",
+        [("k", BIGINT), ("g", BIGINT)],
+        [(i, i % 7) for i in range(60000)],
+    )
+    handle = cluster.submit("SELECT g, count(*), sum(k) FROM t GROUP BY g ORDER BY g")
+    cluster.sim.run(until_ms=30.0)
+    pool = cluster.workers["worker-2"].memory_pool
+    charged = pool.general_used + pool.reserved_used
+    assert charged > 0  # the doomed node holds reservations mid-query
+    cluster.crash_worker("worker-2")
+    cluster.run()
+    assert handle.state == "finished"
+    # Reservations were released at failure *detection*, not query end.
+    assert cluster.dead_node_bytes_released >= charged
+    assert pool.general_used == 0 and not pool.general_by_query
+    assert cluster.stats_snapshot()["ft.dead_node_bytes_released"] > 0

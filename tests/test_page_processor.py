@@ -57,8 +57,30 @@ def test_dictionary_block_processed_via_dictionary():
     result_block = out.block(0)
     assert isinstance(result_block, DictionaryBlock)
     assert result_block.to_values() == ["X", "Y", "X", "X"]
-    # The processed dictionary has exactly the dictionary's size.
-    assert len(result_block.dictionary) == 2
+    # The processed dictionary has the dictionary's entries plus the
+    # sentinel for a NULL input (used to retarget -1 indices when the
+    # projection maps NULL to a value, e.g. coalesce).
+    assert len(result_block.dictionary) == 3
+    assert result_block.dictionary.is_null(2)
+
+
+def test_dictionary_null_rows_retargeted_when_projection_maps_null():
+    # coalesce(s, 'missing') over a dictionary block with -1 (null)
+    # indices: the null rows must pick up the projected NULL result
+    # instead of staying null (fuzz seed 31 regression).
+    dictionary = make_block(VARCHAR, ["x", "y"])
+    block = DictionaryBlock(dictionary, np.array([0, -1, 1, -1]))
+    page = Page([make_block(BIGINT, [1, 2, 3, 4]), block])
+    coalesce = ir.SpecialForm(
+        VARCHAR, ir.COALESCE, (S, ir.Constant(VARCHAR, "missing"))
+    )
+    processor = PageProcessor(SYMBOLS, None, [coalesce])
+    out = processor.process(page)
+    assert out.block(0).to_values() == ["x", "missing", "y", "missing"]
+    # Null-preserving projections keep null rows null.
+    processor = PageProcessor(SYMBOLS, None, [upper_call(S)])
+    out = processor.process(page)
+    assert out.block(0).to_values() == ["X", None, "Y", None]
 
 
 def test_shared_dictionary_result_cached():

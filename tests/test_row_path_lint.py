@@ -22,6 +22,8 @@ HOT_FILES = [
     "src/repro/exec/operators/joins.py",
     "src/repro/exec/operators/sorting.py",
     "src/repro/exec/operators/misc.py",
+    "src/repro/exec/operators/core.py",
+    "src/repro/exec/dynamic_filters.py",
     "src/repro/cluster/shuffle.py",
 ]
 
