@@ -38,6 +38,10 @@ class Metadata:
     def catalogs(self) -> list[str]:
         return sorted(self._connectors)
 
+    def connectors(self) -> list[Connector]:
+        """Registered connectors in catalog-name order (stats export)."""
+        return [self._connectors[catalog] for catalog in self.catalogs()]
+
     def connector(self, catalog: str) -> Connector:
         try:
             return self._connectors[catalog]

@@ -452,6 +452,26 @@ class SimCluster:
             "df.rows_filtered": self.df_rows_filtered,
             "df.waits_expired": self.df_waits_expired,
         }
+        # Columnar-scan counters aggregated over every registered
+        # connector's ReadStats (Hive and Raptor share the ORC-like
+        # reader; connectors without one contribute nothing).
+        scan_counters = (
+            "stripes_read",
+            "stripes_skipped",
+            "columns_loaded",
+            "cells_loaded",
+            "bytes_fetched",
+            "rows_decoded",
+            "rows_passed_encoded",
+        )
+        for counter in scan_counters:
+            snapshot[f"scan.{counter}"] = 0
+        for connector in self.metadata.connectors():
+            read_stats = getattr(connector, "read_stats", None)
+            if read_stats is None:
+                continue
+            for counter in scan_counters:
+                snapshot[f"scan.{counter}"] += getattr(read_stats, counter, 0)
         for name, worker in self.workers.items():
             snapshot[f"worker.{name}.alive"] = worker.alive
             snapshot[f"worker.{name}.cpu_ms"] = worker.stats.busy_ms

@@ -36,6 +36,13 @@ class _Delivery:
 
 
 def _materialize(page: Page) -> Page:
+    """Force lazy blocks before a page is buffered for another task.
+
+    Only :class:`LazyBlock` wrappers are resolved (a buffered page must
+    not hold a live reader closure); dictionary and RLE blocks the
+    columnar scan passed through are serialized as-is, so the encoding
+    — and the partitioner's per-distinct-entry hashing — survives the
+    shuffle boundary."""
     from repro.exec.blocks import LazyBlock
 
     if not any(isinstance(b, LazyBlock) for b in page.blocks):

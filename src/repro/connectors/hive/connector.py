@@ -49,7 +49,10 @@ from repro.connectors.hive.format import (
 from repro.connectors.hive.metastore import HivePartition, HiveTable, Metastore
 from repro.connectors.predicate import TupleDomain
 from repro.errors import TableNotFoundError
+from repro.exec import kernels
 from repro.exec.page import Page
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -257,13 +260,40 @@ class HivePageSink(PageSink):
         ]
 
     def append(self, page: Page) -> None:
+        """Batch write: rows are grouped by partition key with one
+        factorize over the key columns (first-occurrence key order, so
+        partitions register in the same order the row loop produced),
+        then each group streams into its writer in file-sized slices."""
+        data_page = page.select_channels(self.data_indexes)
+        if not self.partition_indexes:
+            self._append_rows(None, data_page)
+            return
+        key_blocks = [page.block(i) for i in self.partition_indexes]
+        factorized = kernels.factorize(key_blocks, page.row_count)
+        if factorized is not None:
+            for group in range(factorized.group_count):
+                positions = np.flatnonzero(factorized.group_ids == group)
+                first = int(factorized.first_positions[group])
+                key = tuple(block.get(first) for block in key_blocks)
+                self._append_rows(key, data_page.copy_positions(positions))
+            return
+        # row-path: object-typed partition keys or REPRO_KERNELS=row
+        groups: dict[tuple, list[int]] = {}
+        for position in range(page.row_count):
+            key = tuple(block.get(position) for block in key_blocks)
+            groups.setdefault(key, []).append(position)
+        for key, positions in groups.items():
+            self._append_rows(key, data_page.copy_positions(positions))
+
+    def _append_rows(self, key: tuple | None, data_page: Page) -> None:
+        """Append one partition's rows, rolling to a new file at exactly
+        the same ``max_rows_per_file`` boundaries as a row-at-a-time
+        append would."""
         schema = self._schema()
         max_rows = self.connector.max_rows_per_file
-        for row in page.rows():
-            if self.partition_indexes:
-                key: tuple | None = tuple(row[i] for i in self.partition_indexes)
-            else:
-                key = None
+        total = data_page.row_count
+        start = 0
+        while start < total:
             writer = self._writers.get(key)
             if writer is None:
                 writer = OrcWriter(
@@ -273,9 +303,11 @@ class HivePageSink(PageSink):
                 )
                 self._writers[key] = writer
                 self._writer_rows[key] = 0
-            writer.add_rows([tuple(row[i] for i in self.data_indexes)])
-            self._writer_rows[key] += 1
-            self.rows_written += 1
+            take = min(max_rows - self._writer_rows[key], total - start)
+            writer.add_page(data_page.region(start, take))
+            self._writer_rows[key] += take
+            self.rows_written += take
+            start += take
             if self._writer_rows[key] >= max_rows:
                 self._roll(key)
 

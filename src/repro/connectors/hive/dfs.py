@@ -6,6 +6,13 @@ scheduling) and a size so the cluster simulation can model read
 latency/bandwidth. In shared-storage mode (the Facebook warehouse
 deployment of Sec. IV-D2) replicas live on storage hosts distinct from
 the workers, so every read is remote.
+
+Hive table data payloads are ``OrcLikeFile`` objects whose
+``size_bytes`` is the sum of the stripes' ``encoded_bytes``, so
+``bytes_read`` models *encoded* volume — dictionary/RLE columns cost
+what they cost on disk, independent of whether the reader later
+materializes them (per-column decode accounting lives in the reader's
+``ReadStats``, surfaced as the ``scan.*`` cluster counters).
 """
 
 from __future__ import annotations

@@ -42,7 +42,10 @@ from repro.connectors.api import (
 from repro.connectors.hive.format import OrcLikeFile, OrcReader, OrcWriter, ReadStats
 from repro.connectors.predicate import TupleDomain
 from repro.errors import TableNotFoundError
+from repro.exec import kernels
 from repro.exec.page import Page
+
+import numpy as np
 
 
 @dataclass
@@ -169,16 +172,39 @@ class RaptorPageSink(PageSink):
         self._rows_by_bucket: dict[Optional[int], list[tuple]] = {}
 
     def append(self, page: Page) -> None:
+        """Batch ingest: columns materialize once via ``to_values`` (a
+        batch gather even for dictionary/RLE blocks) and bucket
+        assignment hashes whole pages through :func:`kernels.hash_rows`
+        (bit-exact with ``stable_bucket``). Buckets are visited in
+        first-occurrence order, so shard ids are later assigned exactly
+        as the per-row loop would have."""
         table = self.table
+        if page.column_count:
+            rows = list(zip(*(block.to_values() for block in page.blocks)))
+        else:
+            rows = [()] * page.row_count
         if table.bucket_columns and table.bucket_count:
+            indexes = [self.column_names.index(c) for c in table.bucket_columns]
+            hashes = kernels.hash_rows(
+                [page.block(i) for i in indexes], page.row_count
+            )
+            if hashes is not None:
+                buckets = (hashes % np.uint64(table.bucket_count)).astype(np.int64)
+                uniq, first = np.unique(buckets, return_index=True)
+                for bucket in uniq[np.argsort(first, kind="stable")]:
+                    positions = np.flatnonzero(buckets == bucket)
+                    self._rows_by_bucket.setdefault(int(bucket), []).extend(
+                        rows[position] for position in positions
+                    )
+                return
             from repro.connectors.hashing import stable_bucket
 
-            indexes = [self.column_names.index(c) for c in table.bucket_columns]
-            for row in page.rows():
+            # row-path: object-typed bucket keys or REPRO_KERNELS=row
+            for row in rows:
                 bucket = stable_bucket((row[i] for i in indexes), table.bucket_count)
-                self._rows_by_bucket.setdefault(bucket, []).append(tuple(row))
+                self._rows_by_bucket.setdefault(bucket, []).append(row)
         else:
-            self._rows_by_bucket.setdefault(None, []).extend(page.rows())
+            self._rows_by_bucket.setdefault(None, []).extend(rows)
 
     def finish(self) -> list[RaptorShard]:
         shards = []

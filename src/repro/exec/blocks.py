@@ -276,6 +276,8 @@ class DictionaryBlock(Block):
         return int(self.indices.nbytes) + self.dictionary.size_bytes()
 
     def to_values(self) -> list:
+        if isinstance(self.dictionary, PrimitiveBlock):
+            return self.unwrap().to_values()
         dict_values = self.dictionary.to_values()
         return [dict_values[i] if i >= 0 else None for i in self.indices]
 
@@ -287,12 +289,22 @@ class DictionaryBlock(Block):
         return DictionaryBlock(self.dictionary, self.indices[start : start + length])
 
     def unwrap(self) -> Block:
-        valid = self.indices >= 0
-        if isinstance(self.dictionary, PrimitiveBlock) and valid.all():
+        if isinstance(self.dictionary, PrimitiveBlock):
+            if len(self.dictionary) == 0:
+                # All indices must be -1 (null) against an empty dictionary.
+                dtype = self.dictionary.values.dtype
+                return PrimitiveBlock(
+                    self.dictionary.type,
+                    np.zeros(len(self.indices), dtype=dtype),
+                    np.ones(len(self.indices), dtype=np.bool_),
+                )
+            # One batch gather; -1 (null) indices clip to entry 0 and are
+            # masked null.
+            clipped = np.clip(self.indices, 0, None)
             return PrimitiveBlock(
                 self.dictionary.type,
-                self.dictionary.values[self.indices],
-                self.dictionary.nulls[self.indices],
+                self.dictionary.values[clipped],
+                self.dictionary.nulls[clipped] | (self.indices < 0),
             )
         return ObjectBlock(self.to_values())
 
@@ -370,6 +382,23 @@ def make_block(type_: Type, values: Iterable) -> Block:
         data = np.array([fill if v is None else v for v in items], dtype=_NUMPY_DTYPES[type_])
         return PrimitiveBlock(type_, data, nulls)
     return ObjectBlock(items)
+
+
+def append_null_entry(block: Block) -> Block:
+    """Copy ``block`` with one extra NULL entry appended.
+
+    The page processor evaluates expressions over a dictionary plus a
+    NULL-input sentinel in one batch; the sentinel models the
+    projection/filter applied to a null row (index ``-1``).
+    """
+    if isinstance(block, PrimitiveBlock):
+        fill = False if block.type is BOOLEAN else 0
+        return PrimitiveBlock(
+            block.type,
+            np.append(block.values, np.asarray([fill], dtype=block.values.dtype)),
+            np.append(block.nulls, True),
+        )
+    return ObjectBlock(block.to_values() + [None])
 
 
 def dictionary_encode(type_: Type, values: Iterable) -> Block:

@@ -78,6 +78,26 @@ class EvalContext:
         return EvalContext(self.page, positions, self._cache)
 
 
+def entries_context(width: int, channel: int, dictionary: Block) -> EvalContext:
+    """An EvalContext whose rows are a dictionary's entries plus one
+    NULL-input sentinel row (paper Sec. V-E: evaluate once per distinct
+    entry, then re-wrap with the original indices).
+
+    Only ``channel`` carries real data; the remaining channels are NULL
+    run-length blocks — expressions routed here reference exactly one
+    channel, and channel extraction is lazy, so the padding is never
+    touched.
+    """
+    from repro.exec.blocks import RunLengthBlock, append_null_entry
+
+    entries = append_null_entry(dictionary)
+    blocks = [
+        entries if i == channel else RunLengthBlock(None, len(entries))
+        for i in range(width)
+    ]
+    return EvalContext(Page(blocks, len(entries)))
+
+
 def block_to_col(block: Block) -> Col:
     flat = block.unwrap() if not isinstance(block, (PrimitiveBlock, ObjectBlock)) else block
     if isinstance(flat, PrimitiveBlock):

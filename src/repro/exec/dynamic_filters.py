@@ -302,6 +302,26 @@ class DynamicFilter:
             return None
         if self.row_count == 0:
             return np.zeros(row_count, dtype=bool)
+        if kernels.enabled():
+            # Encoded probe columns (the columnar scan passes dictionary
+            # and RLE blocks through): decide once per distinct entry
+            # and gather, instead of expanding to row values.
+            from repro.exec.blocks import DictionaryBlock, LazyBlock, RunLengthBlock
+
+            if isinstance(block, LazyBlock):
+                block = block.load()  # the filter touches this column anyway
+            if isinstance(block, RunLengthBlock):
+                return np.full(row_count, self.contains_value(block.value), dtype=bool)
+            if isinstance(block, DictionaryBlock):
+                dictionary = block.dictionary
+                if len(dictionary) == 0:
+                    return np.zeros(row_count, dtype=bool)  # all rows null
+                entry_keep = self.mask(dictionary, len(dictionary))
+                if entry_keep is None:
+                    return None
+                indices = block.indices
+                clipped = np.clip(indices, 0, None)
+                return np.where(indices < 0, False, entry_keep[clipped])
         arrays = kernels.primitive_arrays(block) if kernels.enabled() else None
         if arrays is None:
             # row-path: object-typed probe keys or kernels disabled

@@ -29,6 +29,12 @@ keys python dicts with value tuples):
   integers equal their exact float representations across sides of a
   join (non-representable values simply never match).
 
+Dictionary-encoded key columns (the columnar scan hands stripes through
+as :class:`DictionaryBlock` without materializing) are processed in
+dictionary space where it pays: :func:`factorize` and :func:`hash_rows`
+compute per-*entry* codes/hashes once and gather them through the
+indices instead of expanding to per-row values first.
+
 Object-typed columns (varchar, arrays, partial-aggregation state) have
 no numpy encoding; every entry point returns ``None`` for them and the
 caller falls back to the sanctioned row path. The same fallback can be
@@ -181,6 +187,60 @@ def _canonical_codes(values: np.ndarray, kind: str) -> tuple[np.ndarray, Optiona
     return values.astype(np.int64, copy=False), None
 
 
+def _column_codes(
+    block: Block, row_count: int
+) -> Optional[tuple[np.ndarray, int, Optional[np.ndarray]]]:
+    """Dense per-row codes for one key column.
+
+    Returns ``(codes, cardinality, nan_rows)``: codes are dense in
+    ``[0, cardinality)`` with NULL as its own code, and ``nan_rows``
+    (when not None) marks non-null NaN rows that must become singleton
+    groups. Dictionary blocks are coded in dictionary space — one
+    ``np.unique`` over the entries, gathered through the indices —
+    instead of materializing per-row values. Returns ``None`` for
+    object-typed columns.
+    """
+    if isinstance(block, LazyBlock):
+        block = block.load()
+    if isinstance(block, DictionaryBlock) and isinstance(
+        block.dictionary, PrimitiveBlock
+    ):
+        inner = primitive_arrays(block.dictionary)
+        assert inner is not None
+        values, entry_nulls, kind = inner
+        indices = block.indices
+        if len(values) == 0:
+            return np.zeros(len(indices), dtype=np.int64), 1, None
+        codes, nan_mask = _canonical_codes(values, kind)
+        uniq, entry_inverse = np.unique(codes, return_inverse=True)
+        entry_inverse = entry_inverse.astype(np.int64, copy=False).reshape(-1)
+        null_code = len(uniq)
+        entry_codes = np.where(entry_nulls, null_code, entry_inverse)
+        clipped = np.clip(indices, 0, None)
+        row_codes = np.where(indices < 0, np.int64(null_code), entry_codes[clipped])
+        nan_rows = None
+        if nan_mask is not None and nan_mask.any():
+            entry_nan = nan_mask & ~entry_nulls
+            nan_rows = entry_nan[clipped] & (indices >= 0)
+        return row_codes, len(uniq) + 1, nan_rows
+    arrays = primitive_arrays(block)
+    if arrays is None:
+        return None
+    values, nulls, kind = arrays
+    codes, nan_mask = _canonical_codes(values, kind)
+    uniq, inverse = np.unique(codes, return_inverse=True)
+    inverse = inverse.astype(np.int64, copy=False).reshape(-1)
+    if nulls.any():
+        inverse = inverse.copy()
+        inverse[nulls] = len(uniq)  # nulls are their own per-column code
+    nan_rows = None
+    if nan_mask is not None and nan_mask.any():
+        # Null rows gather arbitrary backing values; only non-null NaNs
+        # become singletons.
+        nan_rows = nan_mask & ~nulls
+    return inverse, len(uniq) + 1, nan_rows
+
+
 # --------------------------------------------------------------------------
 # Factorize: rows -> dense local group ids
 # --------------------------------------------------------------------------
@@ -217,21 +277,15 @@ def factorize(blocks: Sequence[Block], row_count: int) -> Optional[Factorization
         return Factorization(
             np.zeros(row_count, dtype=np.int64), 1, np.zeros(1, dtype=np.int64)
         )
-    columns = key_arrays(blocks)
-    if columns is None:
-        return None
     combined: Optional[np.ndarray] = None
     nan_any: Optional[np.ndarray] = None
-    for values, nulls, kind in columns:
-        codes, nan_mask = _canonical_codes(values, kind)
-        if nan_mask is not None:
-            nan_any = nan_mask if nan_any is None else (nan_any | nan_mask)
-        uniq, inverse = np.unique(codes, return_inverse=True)
-        inverse = inverse.astype(np.int64, copy=False).reshape(-1)
-        if nulls.any():
-            inverse = inverse.copy()
-            inverse[nulls] = len(uniq)  # nulls are their own per-column code
-        cardinality = len(uniq) + 1
+    for block in blocks:
+        column = _column_codes(block, row_count)
+        if column is None:
+            return None
+        inverse, cardinality, nan_rows = column
+        if nan_rows is not None:
+            nan_any = nan_rows if nan_any is None else (nan_any | nan_rows)
         if combined is None:
             combined = inverse
         else:
@@ -456,6 +510,67 @@ def _murmur_int64(values: np.ndarray) -> np.ndarray:
     return (u ^ (u >> np.uint64(33))) & _MASK63
 
 
+def _hash_primitive(
+    values: np.ndarray, nulls: np.ndarray, kind: str
+) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """Per-value stable hashes for one primitive column, plus a mask of
+    float values that overflow the int64 fast path and need the scalar
+    fallback."""
+    fallback: Optional[np.ndarray] = None
+    if kind == "b":
+        column_hash = np.where(values, np.uint64(1), np.uint64(2))
+    elif kind == "f":
+        # stable_hash(float) == stable_hash(int(value * 1_000_003))
+        scaled = values * float(_FLOAT_SCALE)
+        with np.errstate(invalid="ignore"):
+            ok = np.isfinite(scaled) & (np.abs(scaled) < float(2**63))
+        bad = ~ok & ~nulls
+        if bad.any():
+            fallback = bad
+        as_int = np.where(ok, scaled, 0.0).astype(np.int64)
+        column_hash = _murmur_int64(as_int)
+    else:
+        column_hash = _murmur_int64(values.astype(np.int64, copy=False))
+    if nulls.any():
+        column_hash = np.where(nulls, np.uint64(0), column_hash)
+    return column_hash, fallback
+
+
+def _column_hash(
+    block: Block, row_count: int
+) -> Optional[tuple[np.ndarray, Optional[np.ndarray]]]:
+    """Stable column hashes for one key block.
+
+    Dictionary blocks hash once per *entry* and gather through the
+    indices (NULL rows hash to 0, as in the scalar path). Returns
+    ``None`` for object-typed columns.
+    """
+    if isinstance(block, LazyBlock):
+        block = block.load()
+    if isinstance(block, DictionaryBlock) and isinstance(
+        block.dictionary, PrimitiveBlock
+    ):
+        inner = primitive_arrays(block.dictionary)
+        assert inner is not None
+        values, entry_nulls, kind = inner
+        indices = block.indices
+        if len(values) == 0:
+            return np.zeros(len(indices), dtype=np.uint64), None
+        entry_hash, entry_fallback = _hash_primitive(values, entry_nulls, kind)
+        clipped = np.clip(indices, 0, None)
+        column_hash = np.where(indices < 0, np.uint64(0), entry_hash[clipped])
+        fallback = None
+        if entry_fallback is not None:
+            fallback = entry_fallback[clipped] & (indices >= 0)
+            if not fallback.any():
+                fallback = None
+        return column_hash, fallback
+    arrays = primitive_arrays(block)
+    if arrays is None:
+        return None
+    return _hash_primitive(*arrays)
+
+
 def hash_rows(blocks: Sequence[Block], row_count: int) -> Optional[np.ndarray]:
     """Batch ``stable_hash(tuple(row))`` over the given key blocks.
 
@@ -468,28 +583,17 @@ def hash_rows(blocks: Sequence[Block], row_count: int) -> Optional[np.ndarray]:
     """
     if not enabled():
         return None
-    columns = key_arrays(blocks)
-    if columns is None:
-        return None
     h = np.full(row_count, 17, dtype=np.uint64)
     fallback: Optional[np.ndarray] = None
-    for values, nulls, kind in columns:
-        if kind == "b":
-            column_hash = np.where(values, np.uint64(1), np.uint64(2))
-        elif kind == "f":
-            # stable_hash(float) == stable_hash(int(value * 1_000_003))
-            scaled = values * float(_FLOAT_SCALE)
-            with np.errstate(invalid="ignore"):
-                ok = np.isfinite(scaled) & (np.abs(scaled) < float(2**63))
-            bad = ~ok & ~nulls
-            if bad.any():
-                fallback = bad if fallback is None else (fallback | bad)
-            as_int = np.where(ok, scaled, 0.0).astype(np.int64)
-            column_hash = _murmur_int64(as_int)
-        else:
-            column_hash = _murmur_int64(values.astype(np.int64, copy=False))
-        if nulls.any():
-            column_hash = np.where(nulls, np.uint64(0), column_hash)
+    for block in blocks:
+        column = _column_hash(block, row_count)
+        if column is None:
+            return None
+        column_hash, column_fallback = column
+        if column_fallback is not None:
+            fallback = (
+                column_fallback if fallback is None else (fallback | column_fallback)
+            )
         h = (h * np.uint64(31) + column_hash) & _MASK63
     if fallback is not None and fallback.any():
         for row in np.flatnonzero(fallback):

@@ -165,7 +165,12 @@ class TableScanOperator(Operator):
         return out
 
     def _apply_dynamic_filters(self, page: Page) -> Optional[Page]:
-        """Vectorized page filtering; None when every row is dropped."""
+        """Vectorized page filtering; None when every row is dropped.
+
+        Blocks the columnar scan passed through encoded stay encoded:
+        :meth:`DynamicFilter.mask` decides dictionary/RLE blocks per
+        distinct entry, and ``Page.copy_positions`` re-wraps surviving
+        rows around the same shared dictionary."""
         if not self._split_filters and not self.df_specs:
             return page
         import numpy as np

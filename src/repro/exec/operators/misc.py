@@ -159,10 +159,15 @@ class TableFinishOperator(Operator):
 
     def add_input(self, page: Page) -> None:
         self.record_input(page)
-        for row in page.rows():
-            self.total_rows += row[0] or 0
-            if len(row) > 1 and row[1] is not None:
-                self.fragments.append(row[1])
+        # Block-level access instead of a per-row page walk: column 0 is
+        # the per-sink row count, column 1 (when present) the fragment.
+        self.total_rows += sum(count or 0 for count in page.block(0).to_values())
+        if page.column_count > 1:
+            self.fragments.extend(
+                fragment
+                for fragment in page.block(1).to_values()
+                if fragment is not None
+            )
 
     def add_fragment(self, fragment) -> None:
         if fragment is not None:

@@ -305,8 +305,14 @@ class WindowOperator(AccumulatingOperator):
     def _process_partition(self, partition: list[tuple], outputs: list[list]) -> None:
         n = len(partition)
         peers = self._peer_groups(partition)
+        # One transpose serves every window call: argument columns are
+        # re-zipped per call instead of walking all rows per call.
+        columns = list(zip(*partition)) if partition else []
         for i, (call, arg_channels, _) in enumerate(self.calls):
-            args = [tuple(row[c] for c in arg_channels) for row in partition]
+            if arg_channels:
+                args = list(zip(*(columns[c] for c in arg_channels)))
+            else:
+                args = [()] * n
             if call.window_function is not None:
                 outputs[i].extend(call.window_function.process(n, args, peers))
             else:

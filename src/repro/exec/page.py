@@ -98,19 +98,56 @@ def pages_to_rows(pages: Iterable[Page]) -> list[tuple]:
 
 
 def concat_pages(pages: list[Page]) -> Page | None:
-    """Concatenate pages (all with the same schema) into one page."""
+    """Concatenate pages (all with the same schema) into one page.
+
+    Encoding-preserving where it is free: primitive columns concatenate
+    their numpy arrays, dictionary columns sharing one dictionary object
+    concatenate indices (the stripe-wide shared dictionary of the
+    columnar scan survives the join build's page consolidation), and
+    equal-valued RLE columns just sum counts. Mixed encodings fall back
+    to materialized values.
+    """
     if not pages:
         return None
     if len(pages) == 1:
         return pages[0]
-    column_count = pages[0].column_count
-    blocks = []
-    for channel in range(column_count):
-        values: list = []
-        for page in pages:
-            values.extend(page.block(channel).to_values())
-        blocks.append(make_block_from_any(values, pages[0].block(channel)))
+    blocks = [
+        _concat_blocks([page.block(channel) for page in pages])
+        for channel in range(pages[0].column_count)
+    ]
     return Page(blocks, sum(p.row_count for p in pages))
+
+
+def _concat_blocks(blocks: list[Block]) -> Block:
+    import numpy as np
+
+    from repro.exec.blocks import DictionaryBlock, PrimitiveBlock, RunLengthBlock
+
+    loaded = [b.load() if isinstance(b, LazyBlock) else b for b in blocks]
+    first = loaded[0]
+    if isinstance(first, PrimitiveBlock) and all(
+        isinstance(b, PrimitiveBlock) and b.type is first.type for b in loaded
+    ):
+        return PrimitiveBlock(
+            first.type,
+            np.concatenate([b.values for b in loaded]),
+            np.concatenate([b.nulls for b in loaded]),
+        )
+    if isinstance(first, DictionaryBlock) and all(
+        isinstance(b, DictionaryBlock) and b.dictionary is first.dictionary
+        for b in loaded
+    ):
+        return DictionaryBlock(
+            first.dictionary, np.concatenate([b.indices for b in loaded])
+        )
+    if isinstance(first, RunLengthBlock) and all(
+        isinstance(b, RunLengthBlock) and b.value is first.value for b in loaded
+    ):
+        return RunLengthBlock(first.value, sum(len(b) for b in loaded))
+    values: list = []
+    for block in loaded:
+        values.extend(block.to_values())
+    return make_block_from_any(values, first)
 
 
 def make_block_from_any(values: list, template: Block) -> Block:

@@ -23,11 +23,14 @@ from repro.exec.blocks import (
     ObjectBlock,
     RunLengthBlock,
 )
+from repro.errors import PrestoError
+from repro.exec import kernels
 from repro.exec.compiler import (
     CompiledExpression,
     EvalContext,
     col_to_block,
     compile_expression,
+    entries_context,
 )
 from repro.exec.page import Page
 from repro.planner import expressions as ir
@@ -101,6 +104,19 @@ class PageProcessor:
         # Channel each projection exclusively depends on (or None).
         self._single_channels: list[Optional[int]] = []
         layout = {s.name: i for i, s in enumerate(self.input_symbols)}
+        # Channel the filter exclusively depends on: single-channel
+        # filters over dictionary/RLE blocks evaluate per distinct entry
+        # and gather the verdict through the indices.
+        self._filter_channel: Optional[int] = None
+        if filter_expr is not None:
+            filter_variables = ir.referenced_variables(filter_expr)
+            if len(filter_variables) == 1:
+                self._filter_channel = layout[next(iter(filter_variables))]
+        self._filter_cache: Optional[tuple[Block, Optional[np.ndarray]]] = None
+        # Identity projections (a bare variable reference) pass the
+        # source block through unchanged — encoded or lazy blocks are
+        # not materialized just to be renamed.
+        self._identity: list[bool] = []
         for expr in projections:
             variables = ir.referenced_variables(expr)
             if len(variables) == 1:
@@ -109,6 +125,7 @@ class PageProcessor:
                 self._single_channels.append(-1)  # constant: RLE output
             else:
                 self._single_channels.append(None)
+            self._identity.append(isinstance(expr, ir.Variable))
         self._heuristic = _DictionaryHeuristic()
         # Dictionary result cache: projection index -> (dictionary,
         # processed block) — "when successive blocks share the same
@@ -124,8 +141,10 @@ class PageProcessor:
         ctx = EvalContext(page)
         selected: np.ndarray | None = None
         if self.filter is not None:
-            values, nulls = self.filter.evaluate_context(ctx)
-            mask = np.asarray(values, dtype=np.bool_) & ~nulls
+            mask = self._filter_mask(page)
+            if mask is None:
+                values, nulls = self.filter.evaluate_context(ctx)
+                mask = np.asarray(values, dtype=np.bool_) & ~nulls
             if not mask.any():
                 return None
             if mask.all():
@@ -161,6 +180,70 @@ class PageProcessor:
             return Page([], len(out_rows))
         return page_from_rows(self._output_types, out_rows)
 
+    # -- filter fast path ----------------------------------------------------
+
+    def _filter_mask(self, page: Page) -> Optional[np.ndarray]:
+        """Compressed-block filtering (Sec. V-E, extended to filters):
+        a single-channel filter over a dictionary block is evaluated
+        once per distinct entry (plus the NULL sentinel) and the verdict
+        gathered through the indices; over an RLE block it is evaluated
+        once. Returns None to use the general row-space evaluation —
+        object dictionaries, heuristic off, ``REPRO_KERNELS=row``, or an
+        entry raising (only real rows may decide an error is real)."""
+        channel = self._filter_channel
+        if channel is None or page.row_count == 0 or not kernels.enabled():
+            return None
+        block = page.block(channel)
+        if isinstance(block, LazyBlock):
+            # The filter references this channel, so the general path
+            # would load it anyway; loading it here exposes the chunk's
+            # encoding (LazyBlock accounting is identical either way).
+            block = block.load()
+        if isinstance(block, RunLengthBlock):
+            try:
+                verdict = self.filter.evaluate_row(
+                    _single_row(page.column_count, channel, block.value)
+                )
+            except PrestoError:
+                return None
+            return np.full(page.row_count, verdict is True, dtype=np.bool_)
+        if isinstance(block, DictionaryBlock):
+            dictionary = block.dictionary
+            if not self._heuristic.should_process_dictionary(
+                len(dictionary), page.row_count
+            ):
+                return None
+            keep = self._filter_entries(dictionary, page.column_count, channel)
+            if keep is None:
+                return None
+            self._heuristic.record(len(dictionary), page.row_count)
+            indices = block.indices
+            if len(dictionary) == 0:
+                return np.full(page.row_count, bool(keep[-1]), dtype=np.bool_)
+            clipped = np.clip(indices, 0, None)
+            return np.where(indices < 0, keep[-1], keep[clipped])
+        return None
+
+    def _filter_entries(
+        self, dictionary: Block, width: int, channel: int
+    ) -> Optional[np.ndarray]:
+        """Per-entry keep verdicts (last entry = NULL sentinel), cached
+        by dictionary identity like the projection cache. A raising
+        entry caches None: the page may reference only safe entries, but
+        the row-space evaluation must be the one to find out."""
+        cached = self._filter_cache
+        if cached is not None and cached[0] is dictionary:
+            return cached[1]
+        try:
+            values, nulls = self.filter.evaluate_context(
+                entries_context(width, channel, dictionary)
+            )
+            keep = np.asarray(values, dtype=np.bool_) & ~nulls
+        except PrestoError:
+            keep = None
+        self._filter_cache = (dictionary, keep)
+        return keep
+
     # -- projection paths ---------------------------------------------------
 
     def _project(
@@ -180,7 +263,17 @@ class PageProcessor:
             return RunLengthBlock(value, row_count)
         if channel is not None:
             block = page.block(channel)
-            if isinstance(block, LazyBlock) and block.is_loaded:
+            if self._identity[index] and kernels.enabled():
+                # Pass the source block through as-is: dictionary/RLE
+                # blocks stay encoded, and an unfiltered lazy column is
+                # forwarded without being loaded at all (Sec. V-D).
+                if selected is None:
+                    return block
+                return block.copy_positions(selected)
+            if isinstance(block, LazyBlock):
+                # The projection provably touches only this channel, so
+                # loading it here costs nothing extra and exposes the
+                # chunk's encoding to the fast paths below.
                 block = block.load()
             if isinstance(block, RunLengthBlock):
                 value = compiled.evaluate_row(_single_row(page.column_count, channel, block.value))

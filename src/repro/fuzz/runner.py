@@ -26,6 +26,10 @@ every result against the reference oracle:
 10. ``raptor``     — SimCluster over the Raptor connector (node-pinned
    shards, tiny stripes), dynamic filters forced, exercising shard
    pruning
+11. ``ddl_roundtrip`` — the case tables are CTAS'd from a memory
+   catalog into Hive (encoded ORC-like write) and from Hive into
+   Raptor, then the case query runs against the twice-round-tripped
+   Raptor copies — the encoded write/decode paths must be lossless
 
 Errors are outcomes too: if the oracle raises, every configuration must
 raise an error of the same class.
@@ -59,6 +63,7 @@ CONFIG_NAMES = (
     "dynamic_filter",
     "hive",
     "raptor",
+    "ddl_roundtrip",
 )
 
 # The case currently (or most recently) executing. Deliberately NOT
@@ -263,6 +268,61 @@ def _connector_cluster(tables, kind: str) -> SimCluster:
     return cluster
 
 
+def _ddl_roundtrip_cluster(tables) -> SimCluster:
+    """CTAS round-trip over the encoded write path (ROADMAP item): the
+    case tables load into a ``mem`` catalog, are CTAS'd into a Hive
+    catalog (batch ORC-like encode with tiny stripes/files and Bloom
+    metadata), then CTAS'd from Hive into the default Raptor catalog
+    (a second encoded write from decoded/passthrough blocks). The case
+    query then runs against data that survived two write/read round
+    trips and must stay bit-exact with the oracle on the original
+    rows."""
+    from repro.connectors.hive import HiveConnector
+    from repro.connectors.raptor import RaptorConnector
+
+    config = ClusterConfig(
+        worker_count=3,
+        default_catalog="memory",
+        default_schema="default",
+        optimizer=_forced_df_optimizer(),
+    )
+    cluster = SimCluster(config)
+    source = MemoryConnector()
+    for table in tables:
+        source.create_table_with_data(
+            "mem", "default", table.name, table.column_defs(), list(table.rows)
+        )
+    cluster.register_catalog("mem", source)
+    cluster.register_catalog(
+        "hivec",
+        HiveConnector(
+            stripe_rows=16,
+            max_rows_per_file=32,
+            bloom_columns=("k", "n", "m", "x", "y", "s", "u"),
+        ),
+    )
+    cluster.register_catalog(
+        "memory",
+        RaptorConnector(
+            hosts=[f"worker-{i}" for i in range(3)],
+            catalog_name="memory",
+            stripe_rows=16,
+            max_rows_per_shard=32,
+        ),
+    )
+    for table in tables:
+        for ddl in (
+            f"CREATE TABLE hivec.default.{table.name} AS "
+            f"SELECT * FROM mem.default.{table.name}",
+            f"CREATE TABLE memory.default.{table.name} AS "
+            f"SELECT * FROM hivec.default.{table.name}",
+        ):
+            handle = cluster.run_query(ddl)
+            if handle.state != "finished":
+                raise handle.error
+    return cluster
+
+
 def _capture(fn: Callable[[], list[tuple]]) -> Outcome:
     try:
         rows = fn()
@@ -346,6 +406,15 @@ def run_config(name: str, case_tables, sql: str) -> Outcome:
     if name == "raptor":
         cluster = _connector_cluster(case_tables, "raptor")
         return _capture(lambda: cluster.run_query(sql).rows())
+    if name == "ddl_roundtrip":
+
+        def run_roundtrip() -> list[tuple]:
+            # Construct inside the capture: a CTAS failure is an outcome
+            # (compared against the oracle), not a harness crash.
+            cluster = _ddl_roundtrip_cluster(case_tables)
+            return cluster.run_query(sql).rows()
+
+        return _capture(run_roundtrip)
     raise ValueError(f"unknown config {name!r}")
 
 

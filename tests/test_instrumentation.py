@@ -71,6 +71,33 @@ def test_stats_snapshot_counters():
     assert len(snapshot) > 25
 
 
+def test_stats_snapshot_scan_counters():
+    from repro.connectors.hive import HiveConnector
+
+    cluster = SimCluster(
+        ClusterConfig(worker_count=2, default_catalog="hive", default_schema="default")
+    )
+    hive = HiveConnector(stripe_rows=100, bloom_columns=("k",))
+    cluster.register_catalog("hive", hive)
+    cluster.register_catalog("tpch", TpchConnector(scale_factor=0.001))
+    cluster.run_query(
+        "CREATE TABLE t AS SELECT orderkey k, orderstatus s, totalprice p "
+        "FROM tpch.tiny.orders"
+    )
+    # Full scan: the 3-valued status column dictionary-encodes and
+    # passes into the engine still encoded; summing the near-distinct
+    # price column forces a plain chunk to decode flat.
+    cluster.run_query("SELECT s, count(*), sum(p) FROM t GROUP BY 1")
+    # Impossible range: min/max stripe statistics exclude every stripe.
+    cluster.run_query("SELECT count(*) FROM t WHERE k < 0")
+    snapshot = cluster.stats_snapshot()
+    assert snapshot["scan.stripes_read"] > 0
+    assert snapshot["scan.stripes_skipped"] > 0
+    assert snapshot["scan.rows_passed_encoded"] > 0
+    assert snapshot["scan.rows_decoded"] > 0
+    assert snapshot["scan.bytes_fetched"] > 0
+
+
 # ---------------------------------------------------------------------------
 # Queue policies (resource groups)
 # ---------------------------------------------------------------------------

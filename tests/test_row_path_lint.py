@@ -6,8 +6,13 @@ allowed as sanctioned fallbacks (object-typed keys, inherently scalar
 semantics) and must carry a ``# row-path:`` comment explaining why, on
 the loop line or within the two preceding lines.
 
+The storage layer is covered too: the ORC-like encoder/decoder and the
+connector page sinks are batch paths, and a per-value loop over a
+stripe's values (or a ``page.rows()`` walk in a sink) needs the same
+sanction.
+
 This keeps future edits from quietly reintroducing per-row hot loops —
-the regression the vectorization PR exists to prevent.
+the regression the vectorization PRs exist to prevent.
 """
 
 import re
@@ -25,18 +30,32 @@ HOT_FILES = [
     "src/repro/exec/operators/core.py",
     "src/repro/exec/dynamic_filters.py",
     "src/repro/cluster/shuffle.py",
+    # Storage layer (columnar scan PR): encode/decode and page sinks.
+    "src/repro/connectors/hive/format.py",
+    "src/repro/connectors/hive/connector.py",
+    "src/repro/connectors/raptor.py",
 ]
 
-# A loop (or comprehension) iterating once per row of a page.
-ROW_LOOP = re.compile(r"for\s+\w+\s+in\s+range\([^)]*row_count[^)]*\)")
+# Loops (or comprehensions) iterating once per row of a page, per value
+# of a stripe buffer, or per row tuple of a page.
+ROW_LOOP_PATTERNS = [
+    re.compile(r"for\s+\w+\s+in\s+range\([^)]*row_count[^)]*\)"),
+    re.compile(r"for\s+[\w,\s]+\s+in\s+\w*\.rows\(\)"),
+    # Buffer walks (values.items() is a per-column dict walk, not per-row).
+    re.compile(r"for\s+[\w,\s]+\s+in\s+(?:values|non_null)\b(?!\.)"),
+]
 SANCTION = re.compile(r"#\s*row-path")
+
+
+def _matches_row_loop(line: str) -> bool:
+    return any(pattern.search(line) for pattern in ROW_LOOP_PATTERNS)
 
 
 def _violations(path: Path) -> list[str]:
     lines = path.read_text().splitlines()
     bad = []
     for i, line in enumerate(lines):
-        if not ROW_LOOP.search(line):
+        if not _matches_row_loop(line):
             continue
         window = lines[max(0, i - 2) : i + 1]
         if any(SANCTION.search(w) for w in window):
@@ -59,5 +78,11 @@ def test_lint_catches_untagged_loop(tmp_path):
     sample.write_text("for row in range(page.row_count):\n    pass\n")
     # _violations uses paths relative to REPO_ROOT only for messages.
     lines = sample.read_text().splitlines()
-    assert ROW_LOOP.search(lines[0])
+    assert _matches_row_loop(lines[0])
     assert not SANCTION.search(lines[0])
+
+
+def test_lint_catches_rows_walk():
+    assert _matches_row_loop("for row in page.rows():")
+    assert _matches_row_loop("non_null = [v for v in values if v is not None]")
+    assert not _matches_row_loop("for stripe in self.file.stripes:")
