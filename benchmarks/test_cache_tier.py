@@ -1,0 +1,193 @@
+"""Hot-traffic caching tier: zipfian repeated-query benchmark
+(docs/CACHING.md).
+
+A dashboard-style workload: thousands of queries drawn from a small set
+of query shapes with zipf-distributed popularity (a few shapes dominate,
+a long tail repeats rarely). We run the identical sequence against a
+cold cluster (every cache disabled) and a warm cluster (metadata, plan,
+result, and stripe caches all enabled) over the same Hive catalog, and
+report per-query simulated wall-time percentiles, cache hit rates, and
+the total-time speedup. Both clusters must return identical rows for
+every query — the caches may only change *when* work happens, never the
+answer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import print_table, save_results
+from repro.cache import CacheConfig
+from repro.cluster import ClusterConfig, SimCluster
+from repro.connectors.hive import HiveConnector
+from repro.fuzz.runner import normalize_rows
+from repro.types import BIGINT, DOUBLE, VARCHAR
+from repro.workload.datasets import _load_table
+
+FACT_ROWS = 1_200
+QUERY_COUNT = 2_000
+ZIPF_S = 1.1
+SEED = 7
+
+# Ten query shapes x three literal variants = thirty distinct texts.
+# Every shape is deterministic as a row multiset (LIMIT only under a
+# total ORDER BY), so cold and warm runs are comparable row-for-row.
+SHAPES = [
+    "SELECT s, count(*) FROM fact GROUP BY 1",
+    "SELECT count(*), sum(k) FROM fact WHERE g > {lit}",
+    "SELECT g, sum(x) FROM fact WHERE k <= {lit} GROUP BY 1",
+    "SELECT d.name, count(*) FROM fact f JOIN dim d ON f.g = d.g "
+    "WHERE f.k > {lit} GROUP BY 1",
+    "SELECT max(x), min(x) FROM fact WHERE s = '{s}'",
+    "SELECT k, x FROM fact WHERE k < {lit} ORDER BY k, x LIMIT 50",
+    "SELECT g, count(*) FROM fact WHERE x > {lit} GROUP BY 1",
+    "SELECT sum(x), count(*) FROM fact f JOIN dim d ON f.g = d.g "
+    "WHERE d.g <= {lit}",
+    "SELECT s, sum(k), sum(x) FROM fact WHERE g = {lit} GROUP BY 1",
+    "SELECT min(k), max(k) FROM fact WHERE x < {lit}",
+]
+LITERALS = (100, 400, 900)
+STRINGS = ("a", "b", "c")
+
+
+def _query_texts() -> list[str]:
+    texts = []
+    for shape in SHAPES:
+        for lit, s in zip(LITERALS, STRINGS):
+            texts.append(shape.format(lit=lit, s=s))
+    return texts
+
+
+def _workload(rng: random.Random) -> list[str]:
+    texts = _query_texts()
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(texts))]
+    return rng.choices(texts, weights=weights, k=QUERY_COUNT)
+
+
+def _cluster(cache: CacheConfig) -> SimCluster:
+    cluster = SimCluster(
+        ClusterConfig(
+            worker_count=3,
+            default_catalog="hive",
+            default_schema="default",
+            cache=cache,
+        )
+    )
+    connector = HiveConnector(
+        catalog_name="hive", stripe_rows=128, max_rows_per_file=256
+    )
+    rng = random.Random(SEED)
+    fact = [
+        (i, i % 10, round(rng.uniform(0.0, 1000.0), 3), rng.choice("abcde"))
+        for i in range(FACT_ROWS)
+    ]
+    _load_table(
+        connector,
+        "hive",
+        "default",
+        "fact",
+        [("k", BIGINT), ("g", BIGINT), ("x", DOUBLE), ("s", VARCHAR)],
+        fact,
+    )
+    _load_table(
+        connector,
+        "hive",
+        "default",
+        "dim",
+        [("g", BIGINT), ("name", VARCHAR)],
+        [(g, f"group-{g}") for g in range(10)],
+    )
+    cluster.register_catalog("hive", connector)
+    return cluster
+
+
+def _percentile(values: list[float], p: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(p * len(ordered)))
+    return ordered[index]
+
+
+def _hit_rate(snapshot: dict) -> float:
+    hits = sum(
+        snapshot[f"cache.{name}_hits"]
+        for name in ("metadata", "plan", "result", "stripe")
+    )
+    misses = sum(
+        snapshot[f"cache.{name}_misses"]
+        for name in ("metadata", "plan", "result", "stripe")
+    )
+    return hits / max(1, hits + misses)
+
+
+def test_cache_tier_zipfian():
+    # The cold baseline pays the same per-metadata-call latency the warm
+    # cluster pays per metadata *miss* — disabling the caches must not
+    # also waive the cost they exist to avoid.
+    cold = _cluster(
+        CacheConfig(
+            metadata_cache_enabled=False,
+            plan_cache_enabled=False,
+            result_cache_enabled=False,
+            stripe_cache_enabled=False,
+            affinity_scheduling_enabled=False,
+            metadata_latency_ms=1.0,
+        )
+    )
+    warm = _cluster(CacheConfig.full(metadata_latency_ms=1.0))
+    workload = _workload(random.Random(SEED))
+
+    cold_times: list[float] = []
+    warm_times: list[float] = []
+    for sql in workload:
+        cold_query = cold.run_query(sql, drain=True)
+        warm_query = warm.run_query(sql, drain=True)
+        # Affinity scheduling changes which worker sums which stripe, so
+        # float partial-sum order may differ; compare like the fuzz oracle.
+        assert normalize_rows(warm_query.rows()) == normalize_rows(
+            cold_query.rows()
+        ), sql
+        cold_times.append(cold_query.wall_time_ms)
+        warm_times.append(warm_query.wall_time_ms)
+
+    snapshot = warm.stats_snapshot()
+    cold_total = sum(cold_times)
+    warm_total = sum(warm_times)
+    speedup = cold_total / max(warm_total, 1e-9)
+    hit_rate = _hit_rate(snapshot)
+
+    payload = {
+        "queries": QUERY_COUNT,
+        "distinct_texts": len(_query_texts()),
+        "zipf_s": ZIPF_S,
+        "cold_total_ms": round(cold_total, 3),
+        "warm_total_ms": round(warm_total, 3),
+        "speedup": round(speedup, 2),
+        "cold_p50_ms": round(_percentile(cold_times, 0.50), 3),
+        "cold_p99_ms": round(_percentile(cold_times, 0.99), 3),
+        "warm_p50_ms": round(_percentile(warm_times, 0.50), 3),
+        "warm_p99_ms": round(_percentile(warm_times, 0.99), 3),
+        "combined_hit_rate": round(hit_rate, 4),
+        "plan_hits": snapshot["cache.plan_hits"],
+        "result_hits": snapshot["cache.result_hits"],
+        "metadata_hits": snapshot["cache.metadata_hits"],
+        "stripe_hits": snapshot["cache.stripe_hits"],
+        "affinity_routed": snapshot["cache.affinity_routed"],
+        "result_bytes": snapshot["cache.result_bytes"],
+    }
+    save_results("cache_tier", payload)
+    print_table(
+        "Zipfian repeated-query workload (cold vs warm caches)",
+        ["metric", "cold", "warm"],
+        [
+            ["total sim-time (ms)", payload["cold_total_ms"], payload["warm_total_ms"]],
+            ["p50 per query (ms)", payload["cold_p50_ms"], payload["warm_p50_ms"]],
+            ["p99 per query (ms)", payload["cold_p99_ms"], payload["warm_p99_ms"]],
+            ["speedup", "1.00x", f"{payload['speedup']}x"],
+            ["combined hit rate", "-", f"{100 * hit_rate:.1f}%"],
+            ["result-cache hits", "-", payload["result_hits"]],
+            ["plan-cache hits", "-", payload["plan_hits"]],
+        ],
+    )
+
+    assert speedup >= 3.0, f"warm-over-cold speedup {speedup:.2f}x < 3x"
+    assert hit_rate >= 0.80, f"combined hit rate {hit_rate:.2%} < 80%"

@@ -1,0 +1,86 @@
+"""Hot-traffic caching tier (metadata, stripe, plan/result caches).
+
+Three levels, all invalidated by the same monotonic per-table version
+counters (:class:`repro.connectors.api.MetadataVersions`):
+
+1. coordinator metadata cache — ``metadata_cache.CachingMetadata``
+2. worker stripe/footer cache — ``stripe_cache.StripeCache`` (+
+   affinity-aware split scheduling in ``cluster/query.py``)
+3. plan + result cache — ``plan_result.PlanCache`` / ``ResultCache``
+
+See docs/CACHING.md for the invalidation protocol and the coherence
+test battery that proves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.lru import LruCache
+from repro.cache.metadata_cache import CachingMetadata
+from repro.cache.plan_result import CachedPlan, PlanCache, ResultCache
+from repro.cache.stripe_cache import StripeCache
+
+
+@dataclass
+class CacheConfig:
+    """Per-cluster cache tier configuration (ClusterConfig.cache).
+
+    Defaults keep behaviour identical to an uncached cluster: the
+    metadata and plan caches are on but cost-free (``metadata_latency_ms``
+    defaults to 0, and planning itself takes no simulated time), while
+    the result and stripe caches — the levels that change simulated
+    timings — are opt-in.
+    """
+
+    # tier 1: coordinator metadata cache
+    metadata_cache_enabled: bool = True
+    metadata_cache_entries: int = 4096
+    #: simulated per-connector-call latency charged at query startup;
+    #: models the metastore round-trips the cache exists to avoid
+    metadata_latency_ms: float = 0.0
+
+    # tier 3: plan + result cache
+    plan_cache_enabled: bool = True
+    plan_cache_entries: int = 256
+    result_cache_enabled: bool = False
+    result_cache_bytes: int = 16 << 20
+
+    # tier 2: worker stripe cache + affinity scheduling
+    stripe_cache_enabled: bool = False
+    stripe_cache_bytes: int = 8 << 20
+    #: fraction of a split's read latency still paid on a stripe-cache hit
+    stripe_hit_latency_factor: float = 0.25
+    affinity_scheduling_enabled: bool = True
+    #: max queue-depth gap vs the shortest queue before affinity yields
+    affinity_queue_slack: int = 8
+
+    @staticmethod
+    def disabled() -> "CacheConfig":
+        return CacheConfig(
+            metadata_cache_enabled=False,
+            plan_cache_enabled=False,
+            result_cache_enabled=False,
+            stripe_cache_enabled=False,
+            affinity_scheduling_enabled=False,
+        )
+
+    @staticmethod
+    def full(metadata_latency_ms: float = 0.0) -> "CacheConfig":
+        """Every level on (the configuration the coherence battery runs)."""
+        return CacheConfig(
+            metadata_latency_ms=metadata_latency_ms,
+            result_cache_enabled=True,
+            stripe_cache_enabled=True,
+        )
+
+
+__all__ = [
+    "CacheConfig",
+    "CachedPlan",
+    "CachingMetadata",
+    "LruCache",
+    "PlanCache",
+    "ResultCache",
+    "StripeCache",
+]

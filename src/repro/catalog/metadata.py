@@ -31,6 +31,11 @@ class Metadata:
 
     def __init__(self):
         self._connectors: dict[str, Connector] = {}
+        # Read-path calls that actually reached a connector's Metadata
+        # API. The caching subclass (src/repro/cache/metadata_cache.py)
+        # only falls through here on a miss, so for a cached coordinator
+        # this counts misses and for a plain one it counts every lookup.
+        self.connector_calls = 0
 
     def register_catalog(self, catalog: str, connector: Connector) -> None:
         self._connectors[catalog] = connector
@@ -50,6 +55,7 @@ class Metadata:
 
     def resolve_table(self, catalog: str, schema: str, table: str) -> TableHandle | None:
         connector = self.connector(catalog)
+        self.connector_calls += 1
         handle = connector.metadata.get_table_handle(schema, table)
         if handle is None:
             return None
@@ -62,11 +68,13 @@ class Metadata:
         return handle
 
     def table_metadata(self, handle: TableHandle) -> TableMetadata:
+        self.connector_calls += 1
         return self.connector(handle.catalog).metadata.get_table_metadata(
             handle.connector_handle
         )
 
     def table_statistics(self, handle: TableHandle) -> TableStatistics:
+        self.connector_calls += 1
         return self.connector(handle.catalog).metadata.get_statistics(
             handle.connector_handle
         )
@@ -74,6 +82,7 @@ class Metadata:
     def table_layouts(
         self, handle: TableHandle, constraint: TupleDomain, desired_columns: Sequence[str]
     ) -> list[ConnectorTableLayout]:
+        self.connector_calls += 1
         return self.connector(handle.catalog).metadata.get_layouts(
             handle.connector_handle, constraint, desired_columns
         )

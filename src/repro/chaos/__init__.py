@@ -11,17 +11,21 @@ function of its plan: failures reproduce from the seed alone.
 """
 
 from repro.chaos.campaign import (
+    AffinityKillReport,
     CampaignReport,
     ChaosPlan,
     QueryReport,
+    run_affinity_kill,
     run_campaign,
     run_campaigns,
 )
 
 __all__ = [
+    "AffinityKillReport",
     "CampaignReport",
     "ChaosPlan",
     "QueryReport",
+    "run_affinity_kill",
     "run_campaign",
     "run_campaigns",
 ]

@@ -13,7 +13,16 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.cache import (
+    CacheConfig,
+    CachedPlan,
+    CachingMetadata,
+    PlanCache,
+    ResultCache,
+    StripeCache,
+)
 from repro.catalog.metadata import Metadata
+from repro.catalog.schema import QualifiedTableName
 from repro.cluster.cost import CostModel
 from repro.cluster.fault import FailureDetector, FaultToleranceConfig, RetryPolicy
 from repro.cluster.query import QueryExecution
@@ -29,9 +38,15 @@ from repro.errors import (
 )
 from repro.memory.pools import ClusterMemoryManager, MemoryLimits, MemoryPool
 from repro.optimizer.context import OptimizerConfig
+from repro.planner.fingerprint import (
+    is_result_cacheable,
+    plan_fingerprint,
+    referenced_tables,
+)
 from repro.planner.fragmenter import fragment_plan
 from repro.planner.planner import LogicalPlanner, SessionContext
-from repro.sql import parse_statement
+from repro.sql import ast, parse_statement
+from repro.sql.formatter import format_statement
 
 
 @dataclass
@@ -81,6 +96,9 @@ class ClusterConfig:
     # between a build task publishing its key summary and the coordinator
     # being able to act on it (split pruning, filtered splits).
     dynamic_filter_latency_ms: float = 1.0
+    # Hot-traffic caching tier (metadata / stripe / plan+result caches,
+    # see docs/CACHING.md). Defaults change no simulated timings.
+    cache: CacheConfig = field(default_factory=CacheConfig)
     # Cost model.
     cost_mode: str = "deterministic"
     speed_factor: float = 1.0
@@ -93,7 +111,23 @@ class SimCluster:
     def __init__(self, config: ClusterConfig | None = None):
         self.config = config or ClusterConfig()
         self.sim = Simulation()
-        self.metadata = Metadata()
+        cache_cfg = self.config.cache
+        if cache_cfg.metadata_cache_enabled:
+            self.metadata = CachingMetadata(cache_cfg.metadata_cache_entries)
+        else:
+            self.metadata = Metadata()
+        self.plan_cache = (
+            PlanCache(cache_cfg.plan_cache_entries)
+            if cache_cfg.plan_cache_enabled
+            else None
+        )
+        self.result_cache = (
+            ResultCache(cache_cfg.result_cache_bytes)
+            if cache_cfg.result_cache_enabled
+            else None
+        )
+        self.affinity_routed = 0
+        self.affinity_fallbacks = 0
         self.cost_model = CostModel(
             mode=self.config.cost_mode, speed_factor=self.config.speed_factor
         )
@@ -121,6 +155,12 @@ class SimCluster:
                 memory_pool=pool,
                 on_quantum_complete=self._on_quantum_complete,
             )
+            if cache_cfg.stripe_cache_enabled:
+                self.workers[name].stripe_cache = StripeCache(
+                    cache_cfg.stripe_cache_bytes,
+                    memory_pool=pool,
+                    hit_latency_factor=cache_cfg.stripe_hit_latency_factor,
+                )
         self.queries: dict[str, QueryExecution] = {}
         self._query_counter = itertools.count()
         self._admission_queue: deque[QueryExecution] = deque()
@@ -199,18 +239,13 @@ class SimCluster:
             raise QueryQueueFullError("Admission queue is full")
         query_id = f"q{next(self._query_counter)}"
         statement = parse_statement(sql)
-        planner = LogicalPlanner(
-            self.metadata,
-            SessionContext(
-                session_catalog or self.config.default_catalog,
-                session_schema or self.config.default_schema,
-            ),
+        calls_before = self.metadata.connector_calls
+        fragmented, cached = self._plan_statement(
+            statement,
+            session_catalog or self.config.default_catalog,
+            session_schema or self.config.default_schema,
         )
-        plan = planner.plan_statement(statement)
-        from repro.optimizer import optimize_plan
-
-        plan = optimize_plan(plan, self.metadata, planner.symbols, self.config.optimizer)
-        fragmented = fragment_plan(plan)
+        metadata_misses = self.metadata.connector_calls - calls_before
         query = QueryExecution(
             query_id,
             fragmented,
@@ -218,6 +253,19 @@ class SimCluster:
             phased=self.config.phased_execution if phased is None else phased,
             client_bandwidth_bytes_per_ms=client_bandwidth_bytes_per_ms,
         )
+        # Simulated metastore round-trips: each call that actually reached
+        # a connector is charged at query startup; cache hits are free.
+        query.startup_delay_ms = (
+            metadata_misses * self.config.cache.metadata_latency_ms
+        )
+        if (
+            cached is not None
+            and cached.result_cacheable
+            and self.result_cache is not None
+        ):
+            query.result_cache = self.result_cache
+            query.result_fingerprint = cached.fingerprint
+            query.result_tables = tuple(key for key, _ in cached.table_versions)
         query.on_finish = self._on_query_finish
         query.resource_group = resource_group
         self.queries[query_id] = query
@@ -225,6 +273,101 @@ class SimCluster:
         self.sim.schedule(0.0, self._admit)
         self.detector.ensure_running()
         return query
+
+    # -- planning + plan cache ------------------------------------------------
+
+    def table_versions(self, tables) -> tuple:
+        """((catalog, schema, table), version) for each referenced table,
+        read from the owning connector's monotonic counters."""
+        out = []
+        for item in tables:
+            if isinstance(item, QualifiedTableName):
+                key = (item.catalog, item.schema, item.table)
+            elif len(item) == 2 and isinstance(item[0], tuple):
+                key = item[0]  # a stored ((cat, schema, table), version) pair
+            else:
+                key = tuple(item)
+            catalog, schema, table = key
+            try:
+                connector = self.metadata.connector(catalog)
+            except PrestoError:
+                version = -1  # catalog vanished: can never match a snapshot
+            else:
+                version = connector.metadata.versions.table_version(schema, table)
+            out.append((key, version))
+        return tuple(out)
+
+    def _plan_statement(
+        self, statement, catalog: str, schema: str
+    ) -> tuple[object, Optional[CachedPlan]]:
+        """Plan/optimize/fragment, going through the plan cache for plain
+        SELECT queries. Returns the fragmented plan plus the (new or
+        cached) CachedPlan entry when the statement shape is cacheable."""
+        cacheable = isinstance(statement, ast.Query)
+        key = None
+        if cacheable and self.plan_cache is not None:
+            # The formatter normalizes whitespace/case, so cosmetically
+            # different spellings of one query share a cache entry.
+            key = (catalog, schema, format_statement(statement))
+            entry = self.plan_cache.get(key, self.table_versions)
+            if entry is not None:
+                return entry.fragmented, entry
+        planner = LogicalPlanner(self.metadata, SessionContext(catalog, schema))
+        plan = planner.plan_statement(statement)
+        from repro.optimizer import optimize_plan
+
+        plan = optimize_plan(plan, self.metadata, planner.symbols, self.config.optimizer)
+        fragmented = fragment_plan(plan)
+        entry = None
+        if cacheable and (self.plan_cache is not None or self.result_cache is not None):
+            entry = CachedPlan(
+                fragmented,
+                self.table_versions(referenced_tables(fragmented)),
+                plan_fingerprint(fragmented),
+                is_result_cacheable(fragmented),
+            )
+            if self.plan_cache is not None:
+                self.plan_cache.put(key, entry)
+        return fragmented, entry
+
+    def explain(self, sql: str) -> str:
+        """Distributed EXPLAIN with cache-tier visibility: reports the
+        plan-cache outcome for this shape and whether a current result-
+        cache entry could serve it, then the fragmented plan."""
+        from repro.planner.fragmenter import format_fragmented_plan
+
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.Explain):
+            statement = statement.statement
+        catalog, schema = self.config.default_catalog, self.config.default_schema
+        plan_status = "uncacheable"
+        if isinstance(statement, ast.Query) and self.plan_cache is not None:
+            key = (catalog, schema, format_statement(statement))
+            entry = self.plan_cache.cache.peek(key)
+            stale = entry is not None and entry.table_versions != self.table_versions(
+                entry.table_versions
+            )
+            plan_status = "hit" if entry is not None and not stale else "miss"
+        fragmented, cached = self._plan_statement(statement, catalog, schema)
+        result_status = "uncacheable"
+        if cached is not None and cached.result_cacheable:
+            if self.result_cache is None:
+                result_status = "disabled"
+            else:
+                versions = self.table_versions(cached.table_versions)
+                ready = self.result_cache.peek(cached.fingerprint, versions)
+                result_status = "ready" if ready is not None else "cold"
+        lines = [
+            f"plan cache: {plan_status}"
+            if self.plan_cache is not None
+            else "plan cache: disabled",
+            f"result cache: {result_status} (fingerprint {cached.fingerprint[:12]})"
+            if cached is not None
+            else "result cache: uncacheable",
+            "",
+            format_fragmented_plan(fragmented),
+        ]
+        return "\n".join(lines)
 
     def _has_active_work(self) -> bool:
         return self._running > 0 or bool(self._admission_queue)
@@ -452,6 +595,42 @@ class SimCluster:
             "df.rows_filtered": self.df_rows_filtered,
             "df.waits_expired": self.df_waits_expired,
         }
+        # Caching-tier counters (docs/CACHING.md). Keys are always
+        # present so dashboards/tests can rely on them; disabled levels
+        # report zeros.
+        meta_cache = getattr(self.metadata, "cache", None)
+        snapshot["cache.metadata_hits"] = meta_cache.hits if meta_cache else 0
+        snapshot["cache.metadata_misses"] = meta_cache.misses if meta_cache else 0
+        snapshot["cache.metadata_entries"] = len(meta_cache) if meta_cache else 0
+        snapshot["cache.connector_metadata_calls"] = self.metadata.connector_calls
+        snapshot["cache.plan_hits"] = self.plan_cache.hits if self.plan_cache else 0
+        snapshot["cache.plan_misses"] = self.plan_cache.misses if self.plan_cache else 0
+        snapshot["cache.result_hits"] = self.result_cache.hits if self.result_cache else 0
+        snapshot["cache.result_misses"] = (
+            self.result_cache.misses if self.result_cache else 0
+        )
+        snapshot["cache.result_fills"] = self.result_cache.fills if self.result_cache else 0
+        snapshot["cache.result_skipped_fills"] = (
+            self.result_cache.skipped_fills if self.result_cache else 0
+        )
+        snapshot["cache.result_bytes"] = (
+            self.result_cache.used_bytes if self.result_cache else 0
+        )
+        stripe_hits = stripe_misses = stripe_bytes = stripe_evictions = 0
+        for worker in self.workers.values():
+            stripe = getattr(worker, "stripe_cache", None)
+            if stripe is None:
+                continue
+            stripe_hits += stripe.hits
+            stripe_misses += stripe.misses
+            stripe_bytes += stripe.used_bytes
+            stripe_evictions += stripe.entries.evictions
+        snapshot["cache.stripe_hits"] = stripe_hits
+        snapshot["cache.stripe_misses"] = stripe_misses
+        snapshot["cache.stripe_bytes"] = stripe_bytes
+        snapshot["cache.stripe_evictions"] = stripe_evictions
+        snapshot["cache.affinity_routed"] = self.affinity_routed
+        snapshot["cache.affinity_fallbacks"] = self.affinity_fallbacks
         # Columnar-scan counters aggregated over every registered
         # connector's ReadStats (Hive and Raptor share the ORC-like
         # reader; connectors without one contribute nothing).

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.shuffle import OutputBuffer
 from repro.cluster.task import SimTask
+from repro.connectors.hashing import stable_hash
 from repro.errors import (
     ExceededTimeLimitError,
     PrestoError,
@@ -147,6 +148,19 @@ class QueryExecution:
         self._client_poll_scheduled = False
         self.writer_scale_ups = 0
         self.on_finish = None
+        # -- caching tier state (docs/CACHING.md) ----------------------
+        # Simulated metastore latency charged before stage start: one
+        # round-trip per metadata call that missed the coordinator cache.
+        self.startup_delay_ms = 0.0
+        # Set by SimCluster.submit when this plan shape is eligible for
+        # the result cache.
+        self.result_cache = None
+        self.result_fingerprint: str | None = None
+        self.result_tables: tuple = ()
+        # Version snapshot taken at the cache-miss lookup; the finish-time
+        # fill only happens if versions did not move while we ran.
+        self._result_fill_versions: tuple | None = None
+        self.result_cache_status = "off"
         # -- fault tolerance state -------------------------------------
         ft = cluster.config.fault_tolerance
         self._recovery_active = ft.enabled and ft.task_recovery_enabled
@@ -189,6 +203,32 @@ class QueryExecution:
             self._timeout_event = self.cluster.sim.schedule(
                 timeout, self._on_timeout
             )
+        if self._try_serve_cached_result():
+            return
+        if self.startup_delay_ms > 0:
+            self.cluster.sim.schedule(self.startup_delay_ms, self._start_stages)
+        else:
+            self._start_stages()
+
+    def _try_serve_cached_result(self) -> bool:
+        """Serve bit-identical pages from the result cache when the
+        fingerprint + current table versions match a stored entry."""
+        if self.result_cache is None or self.result_fingerprint is None:
+            return False
+        versions = self.cluster.table_versions(self.result_tables)
+        pages = self.result_cache.get(self.result_fingerprint, versions)
+        if pages is not None:
+            self.result_cache_status = "hit"
+            self.result_pages = list(pages)
+            self._finish()
+            return True
+        self.result_cache_status = "miss"
+        self._result_fill_versions = versions
+        return False
+
+    def _start_stages(self) -> None:
+        if self.state != "running":
+            return
         try:
             self._create_stages()
         except Exception as exc:  # planning/placement failure
@@ -483,6 +523,7 @@ class QueryExecution:
         split = self._df_augment_split(schedule, split)
         if split is None:
             return  # pruned: never journaled, never assigned
+        target = None
         if not split.remotely_accessible and split.addresses:
             # Shared-nothing: the split must run where its data lives.
             candidates = [
@@ -495,20 +536,72 @@ class QueryExecution:
                     )
                 )
                 return
-        elif split.addresses and self.cluster.config.prefer_local_reads:
-            local = [t for t in tasks if t.worker.name in split.addresses]
-            candidates = local or tasks
         else:
-            candidates = tasks
-        # Shortest-queue assignment (Sec. IV-D3: "the coordinator simply
-        # assigns new splits to tasks with the shortest queue").
-        target = min(
-            candidates,
-            key=lambda t: t.scan_operators[schedule.scan_index].queued_splits,
-        )
+            # Cache affinity (docs/CACHING.md): send the split to the
+            # worker that already holds — or, by rendezvous hash, will
+            # come to hold — its stripe; it beats plain DFS locality.
+            target = self._affinity_target(schedule, split, tasks)
+            if split.addresses and self.cluster.config.prefer_local_reads:
+                local = [t for t in tasks if t.worker.name in split.addresses]
+                candidates = local or tasks
+            else:
+                candidates = tasks
+        if target is None:
+            # Shortest-queue assignment (Sec. IV-D3: "the coordinator
+            # simply assigns new splits to tasks with the shortest queue").
+            target = min(
+                candidates,
+                key=lambda t: t.scan_operators[schedule.scan_index].queued_splits,
+            )
         target.add_split_to(schedule.scan_index, split)
         schedule.assigned += 1
         target.worker.kick(target)
+
+    def _affinity_target(self, schedule, split, tasks):
+        """Pick the stripe-affine task for a cacheable split, or None.
+
+        Holder first; otherwise rendezvous hashing over the workers the
+        failure detector believes alive, so the mapping is stable across
+        queries yet redistributes automatically when a node dies. Falls
+        back to shortest-queue (None) when the affine worker's split
+        queue is ``affinity_queue_slack`` deeper than the shortest."""
+        cfg = self.cluster.config.cache
+        if not (cfg.stripe_cache_enabled and cfg.affinity_scheduling_enabled):
+            return None
+        raw_key = schedule.connector.split_cache_key(split)
+        if raw_key is None:
+            return None
+        detector = self.cluster.detector
+        pool = [t for t in tasks if detector.believes_alive(t.worker.name)]
+        if not pool:
+            return None
+        cache_key = (split.connector, raw_key)
+        holders = [
+            t
+            for t in pool
+            if getattr(t.worker, "stripe_cache", None) is not None
+            and t.worker.stripe_cache.holds(cache_key)
+        ]
+        if holders:
+            target = min(holders, key=lambda t: t.worker.name)
+        else:
+            target = max(
+                pool,
+                key=lambda t: (
+                    stable_hash((raw_key, t.worker.name)),
+                    t.worker.name,
+                ),
+            )
+
+        def queue_depth(task) -> int:
+            return task.scan_operators[schedule.scan_index].queued_splits
+
+        shortest = min(queue_depth(t) for t in pool)
+        if queue_depth(target) - shortest > cfg.affinity_queue_slack:
+            self.cluster.affinity_fallbacks += 1
+            return None
+        self.cluster.affinity_routed += 1
+        return target
 
     # ------------------------------------------------------------------
     # Shuffle transfer service (Sec. IV-E2)
@@ -1023,6 +1116,15 @@ class QueryExecution:
             return
         self.state = "finished"
         self.finished_at = self.cluster.sim.now
+        if self.result_cache is not None and self._result_fill_versions is not None:
+            # Fill only when no referenced table changed while the query
+            # ran: a mid-flight INSERT makes the snapshot ambiguous.
+            self.result_cache.fill(
+                self.result_fingerprint,
+                self._result_fill_versions,
+                self.cluster.table_versions(self.result_tables),
+                self.result_pages,
+            )
         self._cancel_timeout()
         self._cleanup()
         if self.on_finish is not None:

@@ -53,6 +53,7 @@ class SimTaskPlanner(LocalExecutionPlanner):
         connector = self.metadata.connector(node.table.catalog)
         columns = [node.assignments[s] for s in node.outputs]
         scan = TableScanOperator(connector, columns)
+        scan.stripe_cache = getattr(self.task.worker, "stripe_cache", None)
         # Same-fragment (broadcast-join) filters apply live through the
         # task registry — except under task recovery, where page content
         # must be a pure function of the replayed split log, so filters

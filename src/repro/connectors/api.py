@@ -203,8 +203,39 @@ class Index:
         raise NotImplementedError
 
 
+class MetadataVersions:
+    """Monotonic version counters driving cache invalidation.
+
+    Every DDL or committed insert bumps both a per-table counter and the
+    catalog-wide counter, so the coordinator caches (metadata, plan,
+    result — see src/repro/cache/) can validate an entry with a single
+    integer comparison instead of re-reading connector state.
+    """
+
+    def __init__(self) -> None:
+        self.catalog_version = 0
+        self._tables: dict[tuple[str, str], int] = {}
+
+    def table_version(self, schema: str, table: str) -> int:
+        return self._tables.get((schema, table), 0)
+
+    def bump_table(self, schema: str, table: str) -> None:
+        key = (schema, table)
+        self._tables[key] = self._tables.get(key, 0) + 1
+        self.catalog_version += 1
+
+
 class ConnectorMetadata:
     """Metadata API: schema, statistics, and layout discovery."""
+
+    @property
+    def versions(self) -> MetadataVersions:
+        """Lazily-created per-connector version counters. Read-only
+        connectors never bump them, so their tables stay at version 0."""
+        versions = self.__dict__.get("_cache_versions")
+        if versions is None:
+            versions = self.__dict__["_cache_versions"] = MetadataVersions()
+        return versions
 
     def list_schemas(self) -> list[str]:
         raise NotImplementedError
@@ -265,6 +296,14 @@ class Connector:
         self, handle: object, key_columns: Sequence[str], output_columns: Sequence[str]
     ) -> Index | None:
         """Return an Index for key_columns, or None if unsupported."""
+        return None
+
+    def split_cache_key(self, split: Split) -> object | None:
+        """Stable identity of the immutable storage unit behind a split
+        (Hive file path, Raptor shard id), or None when the connector's
+        splits have no cacheable identity. Keys must never be reused for
+        different bytes — the worker stripe cache relies on that to stay
+        coherent without an invalidation protocol."""
         return None
 
     def prune_split(self, split: Split, filters: dict) -> bool:

@@ -180,6 +180,7 @@ class HiveMetadata(ConnectorMetadata):
         )
         self.metastore.create_schema(metadata.name.schema)
         self.metastore.create_table(table)
+        self.versions.bump_table(metadata.name.schema, metadata.name.table)
         return HiveTableHandle(metadata.name.schema, metadata.name.table)
 
     def begin_insert(self, handle: HiveTableHandle) -> HiveInsertHandle:
@@ -199,6 +200,7 @@ class HiveMetadata(ConnectorMetadata):
                         partition = HivePartition(partition_values, location)
                         table.partitions[partition_values] = partition
                     partition.file_paths.append(path)
+        self.versions.bump_table(handle.schema, handle.table)
         if self._connector.auto_analyze:
             self._connector.analyze_table(handle.schema, handle.table)
 
@@ -212,6 +214,7 @@ class HiveMetadata(ConnectorMetadata):
             for path in partition.file_paths:
                 self._connector.dfs.delete(path)
         self.metastore.drop_table(handle.schema, handle.table)
+        self.versions.bump_table(handle.schema, handle.table)
 
 
 class HivePageSource(PageSource):
@@ -473,6 +476,11 @@ class HiveConnector(Connector):
 
         return HivePageSource(generate())
 
+    def split_cache_key(self, split: Split) -> object | None:
+        # File paths come from a global counter and are never reused, so
+        # a path uniquely identifies immutable bytes.
+        return split.payload[0]
+
     def prune_split(self, split: Split, filters: dict) -> bool:
         """Prune a file split using runtime dynamic filters: drop it when
         its partition value falls outside a filter's domain, or when every
@@ -535,6 +543,7 @@ class HiveConnector(Connector):
             {name: compute_column_statistics(vals) for name, vals in values.items()},
         )
         self.metastore.update_statistics(schema, table_name, statistics)
+        self._metadata.versions.bump_table(schema, table_name)
         return statistics
 
     def _all_files(self, table: HiveTable) -> list[tuple[tuple | None, str]]:

@@ -105,6 +105,7 @@ class MemoryMetadata(ConnectorMetadata):
     def create_table(self, metadata: TableMetadata) -> MemoryTableHandle:
         handle = MemoryTableHandle(metadata.name.schema, metadata.name.table)
         self._connector.tables[handle] = _MemoryTable(metadata)
+        self.versions.bump_table(handle.schema, handle.table)
         return handle
 
     def begin_insert(self, handle: MemoryTableHandle) -> MemoryTableHandle:
@@ -115,9 +116,11 @@ class MemoryMetadata(ConnectorMetadata):
         with self._connector.lock:
             for pages in fragments:
                 table.pages.extend(pages)
+        self.versions.bump_table(insert_handle.schema, insert_handle.table)
 
     def drop_table(self, handle: MemoryTableHandle) -> None:
         self._connector.tables.pop(handle, None)
+        self.versions.bump_table(handle.schema, handle.table)
 
 
 class _MemorySink(PageSink):

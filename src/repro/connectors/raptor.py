@@ -146,6 +146,7 @@ class RaptorMetadata(ConnectorMetadata):
         )
         handle = RaptorTableHandle(metadata.name.schema, metadata.name.table)
         self._connector.tables[handle] = table
+        self.versions.bump_table(handle.schema, handle.table)
         return handle
 
     def begin_insert(self, handle: RaptorTableHandle) -> RaptorTableHandle:
@@ -155,11 +156,13 @@ class RaptorMetadata(ConnectorMetadata):
         table = self._connector.table(insert_handle)
         for shards in fragments:
             table.shards.extend(shards)
+        self.versions.bump_table(insert_handle.schema, insert_handle.table)
         if self._connector.auto_analyze:
             self._connector.analyze_table(insert_handle)
 
     def drop_table(self, handle: RaptorTableHandle) -> None:
         self._connector.tables.pop(handle, None)
+        self.versions.bump_table(handle.schema, handle.table)
 
 
 class RaptorPageSink(PageSink):
@@ -311,6 +314,11 @@ class RaptorConnector(Connector):
         )
         return IteratorPageSource(reader.pages())
 
+    def split_cache_key(self, split: Split) -> object | None:
+        # Shard ids are allocated once and never reused; the placeholder
+        # split for an empty table (shard_id None) is not cacheable.
+        return split.payload[1]
+
     def prune_split(self, split: Split, filters: dict) -> bool:
         """Prune a shard when every stripe's statistics (min/max + Bloom)
         prove it holds no build-side join keys."""
@@ -348,4 +356,5 @@ class RaptorConnector(Connector):
             float(row_count),
             {name: compute_column_statistics(vals) for name, vals in values.items()},
         )
+        self._metadata.versions.bump_table(handle.schema, handle.table)
         return table.statistics

@@ -63,6 +63,10 @@ class TableScanOperator(Operator):
         self.completed_bytes = 0
         # Accumulated simulated time-to-first-byte of opened splits.
         self.opened_latency_ms = 0.0
+        # Worker stripe cache (repro.cache.stripe_cache); set by the
+        # cluster task planner, None in the local engine. Hits shorten
+        # the simulated open latency — never the bytes produced.
+        self.stripe_cache = None
         # Runtime dynamic filtering (repro.exec.dynamic_filters): filters
         # arrive either attached to a split by the coordinator
         # (replay-deterministic) or through a live registry shared with
@@ -79,6 +83,20 @@ class TableScanOperator(Operator):
         (filter id, key channel) filters become ready."""
         self.df_specs = list(specs)
         self.df_registry = registry
+
+    def _split_open_latency(self, split: Split) -> float:
+        """Time-to-first-byte for one split: a stripe-cache hit pays only
+        the cache's residual latency fraction."""
+        cache = self.stripe_cache
+        if cache is None:
+            return split.read_latency_ms
+        key = self.connector.split_cache_key(split)
+        if key is None:
+            return split.read_latency_ms
+        weight = split.estimated_bytes or 1
+        if cache.record_access((split.connector, key), weight):
+            return split.read_latency_ms * cache.hit_latency_factor
+        return split.read_latency_ms
 
     def io_cost_ms(self) -> float:
         """Simulated I/O time consumed so far: per-split latency plus
@@ -119,7 +137,7 @@ class TableScanOperator(Operator):
                     self.df_splits_pruned += 1
                     self.completed_splits += 1
                     continue
-                self.opened_latency_ms += split.read_latency_ms
+                self.opened_latency_ms += self._split_open_latency(split)
                 self._source = self.connector.page_source(split, self.columns)
                 self._split_filters = self._channel_filters(split)
                 self._split_filter_ids = frozenset(

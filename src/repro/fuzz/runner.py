@@ -30,6 +30,14 @@ every result against the reference oracle:
    catalog into Hive (encoded ORC-like write) and from Hive into
    Raptor, then the case query runs against the twice-round-tripped
    Raptor copies — the encoded write/decode paths must be lossless
+12. ``cache_coherence`` — the case query runs repeatedly on a
+   Hive-backed cluster with the full caching tier enabled (metadata,
+   plan, result, and stripe caches + affinity scheduling,
+   docs/CACHING.md) while random deterministic DDL/INSERT mutations are
+   interleaved between runs; after every mutation the cached cluster
+   must agree with an identical uncached twin, and a repeat with no
+   intervening mutation must be served bit-identically from the result
+   cache — any stale answer raises ``CacheCoherenceError``
 
 Errors are outcomes too: if the oracle raises, every configuration must
 raise an error of the same class.
@@ -64,6 +72,7 @@ CONFIG_NAMES = (
     "hive",
     "raptor",
     "ddl_roundtrip",
+    "cache_coherence",
 )
 
 # The case currently (or most recently) executing. Deliberately NOT
@@ -364,6 +373,139 @@ def _run_chaos(tables, sql: str) -> list[tuple]:
     return handle.rows()
 
 
+class CacheCoherenceError(Exception):
+    """A cached cluster disagreed with its uncached twin — the caching
+    tier served a stale (or otherwise wrong) answer."""
+
+
+def _cached_hive_cluster(tables, cache_config) -> SimCluster:
+    """A Hive-backed cluster (tiny stripes/files so the stripe cache and
+    affinity scheduling engage) with the given cache configuration."""
+    from repro.connectors.hive import HiveConnector
+    from repro.workload.datasets import _load_table
+
+    config = ClusterConfig(
+        worker_count=3,
+        default_catalog="memory",
+        default_schema="default",
+        optimizer=_forced_df_optimizer(),
+        cache=cache_config,
+    )
+    cluster = SimCluster(config)
+    connector = HiveConnector(
+        stripe_rows=16,
+        max_rows_per_file=32,
+        bloom_columns=("k", "n", "m", "x", "y", "s", "u"),
+    )
+    for table in tables:
+        _load_table(
+            connector,
+            "memory",
+            "default",
+            table.name,
+            [(c.name, c.type) for c in table.columns],
+            list(table.rows),
+        )
+    cluster.register_catalog("memory", connector)
+    return cluster
+
+
+def _coherence_mutations(tables) -> tuple[str, ...]:
+    """Mutations interleaved between runs of the case query, derived
+    from the case's own tables (repro cases use arbitrary names, not
+    just the grammar's t0/t1). Each is deterministic as a multiset (no
+    bare LIMIT / sampling), so the cached and uncached clusters stay
+    row-for-row comparable after applying it."""
+    mutations = []
+    for table in tables:
+        mutations.append(f"INSERT INTO {table.name} SELECT * FROM {table.name}")
+        mutations.append(f"ctas_drop:{table.name}")
+    return tuple(mutations)
+
+
+def _run_cache_coherence(tables, sql: str) -> list[tuple]:
+    """Differential cache-coherence check (docs/CACHING.md test battery).
+
+    Runs ``sql`` on a fully-cached Hive cluster and an identical
+    uncached twin; interleaves deterministic DDL/INSERT mutations and
+    re-runs after each one. Every divergence — including a result-cache
+    repeat that is not bit-identical — raises ``CacheCoherenceError``.
+    Returns the *first* (pre-mutation) rows so the outcome matches the
+    oracle, which only knows the original tables.
+    """
+    import random
+
+    from repro.cache import CacheConfig
+    from repro.connectors.hashing import stable_hash
+
+    cached = _cached_hive_cluster(tables, CacheConfig.full(metadata_latency_ms=0.5))
+    plain = _cached_hive_cluster(tables, CacheConfig.disabled())
+
+    def run_both(context: str) -> list[tuple]:
+        try:
+            cached_rows = cached.run_query(sql, drain=True).rows()
+            cached_error = None
+        except Exception as exc:
+            cached_rows, cached_error = None, exc
+        try:
+            plain_rows = plain.run_query(sql, drain=True).rows()
+            plain_error = None
+        except Exception as exc:
+            plain_rows, plain_error = None, exc
+        cached_key = (
+            ("error", type(cached_error).__name__)
+            if cached_error is not None
+            else ("rows", tuple(normalize_rows(cached_rows)))
+        )
+        plain_key = (
+            ("error", type(plain_error).__name__)
+            if plain_error is not None
+            else ("rows", tuple(normalize_rows(plain_rows)))
+        )
+        if cached_key != plain_key:
+            raise CacheCoherenceError(
+                f"cached cluster diverged from uncached twin {context}: "
+                f"cached={cached_key[:1] + (str(cached_key[1])[:200],)} "
+                f"plain={plain_key[:1] + (str(plain_key[1])[:200],)}"
+            )
+        if cached_error is not None:
+            raise cached_error
+        return cached_rows
+
+    first = run_both("on the initial run")
+    # Repeat with no intervening mutation: the second run must be served
+    # from the result cache, bit-identical (not merely multiset-equal).
+    repeat = cached.run_query(sql, drain=True)
+    if repeat.result_cache_status == "hit" and repeat.rows() != first:
+        raise CacheCoherenceError("result-cache repeat was not bit-identical")
+    if repeat.result_cache_status not in ("hit", "miss", "off"):
+        raise CacheCoherenceError(
+            f"unexpected result-cache status {repeat.result_cache_status!r}"
+        )
+
+    rng = random.Random(stable_hash(sql) & 0xFFFFFFFF)
+    mutations = _coherence_mutations(tables)
+    for mutation in rng.sample(mutations, min(2, len(mutations))):
+        if mutation.startswith("ctas_drop:"):
+            victim = mutation.split(":", 1)[1]
+            for cluster in (cached, plain):
+                cluster.run_query(
+                    f"CREATE TABLE tmp_cc AS SELECT * FROM {victim}", drain=True
+                )
+                # Out-of-band drop through the metadata API (the planner
+                # has no DROP TABLE): invalidation must still propagate
+                # via the connector's version bump.
+                handle = cluster.metadata.require_table(
+                    "memory", "default", "tmp_cc"
+                )
+                cluster.metadata.drop_table(handle)
+        else:
+            for cluster in (cached, plain):
+                cluster.run_query(mutation, drain=True)
+        run_both(f"after {mutation!r}")
+    return first
+
+
 def run_config(name: str, case_tables, sql: str) -> Outcome:
     if name == "oracle":
         connector = MemoryConnector()
@@ -415,6 +557,8 @@ def run_config(name: str, case_tables, sql: str) -> Outcome:
             return cluster.run_query(sql).rows()
 
         return _capture(run_roundtrip)
+    if name == "cache_coherence":
+        return _capture(lambda: _run_cache_coherence(case_tables, sql))
     raise ValueError(f"unknown config {name!r}")
 
 

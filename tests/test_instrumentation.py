@@ -160,3 +160,54 @@ def test_show_catalogs_schemas_functions():
     assert functions["abs"] == "scalar"
     assert functions["rank"] == "window"
     assert len(functions) > 100
+
+
+def test_stats_snapshot_cache_counters_present():
+    cluster = SimCluster(
+        ClusterConfig(worker_count=2, default_catalog="tpch", default_schema="tiny")
+    )
+    cluster.register_catalog("tpch", TpchConnector(scale_factor=0.001))
+    cluster.run_query("SELECT count(*) FROM nation")
+    snapshot = cluster.stats_snapshot()
+    for key in (
+        "cache.metadata_hits",
+        "cache.metadata_misses",
+        "cache.connector_metadata_calls",
+        "cache.plan_hits",
+        "cache.plan_misses",
+        "cache.result_hits",
+        "cache.result_misses",
+        "cache.stripe_hits",
+        "cache.stripe_misses",
+        "cache.affinity_routed",
+    ):
+        assert key in snapshot, key
+
+
+def test_repeated_query_reports_plan_cache_hit():
+    cluster = SimCluster(
+        ClusterConfig(worker_count=2, default_catalog="tpch", default_schema="tiny")
+    )
+    cluster.register_catalog("tpch", TpchConnector(scale_factor=0.001))
+    sql = "SELECT regionkey, count(*) FROM nation GROUP BY 1"
+    cluster.run_query(sql, drain=True)
+    calls_after_first = cluster.stats_snapshot()["cache.connector_metadata_calls"]
+    cluster.run_query(sql, drain=True)
+    snapshot = cluster.stats_snapshot()
+    assert snapshot["cache.plan_hits"] >= 1
+    # The repeat planned without a single connector metadata round-trip.
+    assert snapshot["cache.connector_metadata_calls"] == calls_after_first
+
+
+def test_explain_shows_cache_status():
+    cluster = SimCluster(
+        ClusterConfig(worker_count=2, default_catalog="tpch", default_schema="tiny")
+    )
+    cluster.register_catalog("tpch", TpchConnector(scale_factor=0.001))
+    sql = "SELECT name FROM nation"
+    cold = cluster.explain(sql)
+    assert "plan cache: miss" in cold
+    cluster.run_query(sql, drain=True)
+    warm = cluster.explain(sql)
+    assert "plan cache: hit" in warm
+    assert "Fragment" in warm
