@@ -152,14 +152,23 @@ class LocalEngine:
         lines = [f"Query executed in {elapsed_ms:.1f} ms (wall)"]
         total_rows = sum(page.row_count for page in collector.pages)
         lines.append(f"Output rows: {total_rows}")
+        def stat_line(operator, indent: str) -> str:
+            return (
+                f"{indent}{operator.name:<20} in: {operator.input_rows:>8} rows"
+                f" / {operator.input_bytes:>10} B   out: {operator.output_rows:>8} rows"
+                f" / {operator.output_bytes:>10} B"
+            )
+
         for i, driver in enumerate(drivers):
             lines.append(f"Pipeline {i} (cpu {driver.cpu_time_ms:.1f} ms):")
             for operator in driver.operators:
-                lines.append(
-                    f"  {operator.name:<20} in: {operator.input_rows:>8} rows"
-                    f" / {operator.input_bytes:>10} B   out: {operator.output_rows:>8} rows"
-                    f" / {operator.output_bytes:>10} B"
-                )
+                lines.append(stat_line(operator, "  "))
+                # A fused pipeline (repro.exec.pipeline) reports the
+                # operators it absorbed, indented beneath it.
+                embedded = getattr(operator, "embedded_operators", None)
+                if embedded is not None:
+                    for inner in embedded():
+                        lines.append(stat_line(inner, "    "))
         return "\n".join(lines)
 
     def _show_tables(self, statement: ast.ShowTables) -> QueryResult:

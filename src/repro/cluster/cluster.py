@@ -181,6 +181,10 @@ class SimCluster:
         self.df_splits_pruned = 0
         self.df_rows_filtered = 0
         self.df_waits_expired = 0
+        # Pipeline-fusion counters (repro.exec.pipeline): pipelines
+        # compiled into a FusedPipelineOperator vs. fallbacks by reason.
+        self.pipelines_fused = 0
+        self.fusion_fallbacks: dict[str, int] = {}
         self.detector = FailureDetector(
             self.sim,
             self.workers,
@@ -330,6 +334,15 @@ class SimCluster:
                 self.plan_cache.put(key, entry)
         return fragmented, entry
 
+    def record_fusion(self, report) -> None:
+        """Fold one task's pipeline-fusion outcome (repro.exec.pipeline
+        FusionReport) into the cluster-wide exec.* counters."""
+        self.pipelines_fused += report.fused
+        for reason, count in report.fallbacks.items():
+            self.fusion_fallbacks[reason] = (
+                self.fusion_fallbacks.get(reason, 0) + count
+            )
+
     def explain(self, sql: str) -> str:
         """Distributed EXPLAIN with cache-tier visibility: reports the
         plan-cache outcome for this shape and whether a current result-
@@ -365,9 +378,22 @@ class SimCluster:
             if cached is not None
             else "result cache: uncacheable",
             "",
-            format_fragmented_plan(fragmented),
+            format_fragmented_plan(fragmented, self._fusion_annotations(fragmented)),
         ]
         return "\n".join(lines)
+
+    def _fusion_annotations(self, fragmented) -> dict[int, str]:
+        """Per-fragment fused-stage summaries for EXPLAIN (predicted at
+        plan level by repro.exec.pipeline; runtime counters are in
+        stats_snapshot as exec.pipelines_fused)."""
+        from repro.exec.pipeline import fragment_fusion_summary
+
+        annotations = {}
+        for fragment_id, fragment in fragmented.fragments.items():
+            summary = fragment_fusion_summary(fragment)
+            if summary:
+                annotations[fragment_id] = summary
+        return annotations
 
     def _has_active_work(self) -> bool:
         return self._running > 0 or bool(self._admission_queue)
@@ -594,7 +620,11 @@ class SimCluster:
             "df.splits_pruned": self.df_splits_pruned,
             "df.rows_filtered": self.df_rows_filtered,
             "df.waits_expired": self.df_waits_expired,
+            "exec.pipelines_fused": self.pipelines_fused,
+            "exec.fusion_fallbacks": sum(self.fusion_fallbacks.values()),
         }
+        for reason, count in sorted(self.fusion_fallbacks.items()):
+            snapshot[f"exec.fusion_fallback.{reason}"] = count
         # Caching-tier counters (docs/CACHING.md). Keys are always
         # present so dashboards/tests can rely on them; disabled levels
         # report zeros.

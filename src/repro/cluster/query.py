@@ -310,6 +310,7 @@ class QueryExecution:
                     buffer_capacity=cluster.config.output_buffer_bytes,
                     retain_output=self._recovery_active,
                 )
+                cluster.record_fusion(task.fusion_report)
                 # Output pages become visible only when the producing
                 # quantum's virtual time completes (on_task_quantum), so
                 # data flow cannot outrun the simulated clock.
@@ -893,6 +894,7 @@ class QueryExecution:
             retain_output=True,
             attempt=attempt,
         )
+        cluster.record_fusion(new.fusion_report)
         self.stages[fragment.id].tasks[old.partition] = new
         return new
 

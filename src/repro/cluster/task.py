@@ -47,7 +47,10 @@ class SimTaskPlanner(LocalExecutionPlanner):
         )
         operators.append(sink)
         self.pipelines.append(operators)
-        return [Driver(ops) for ops in self.pipelines]
+        from repro.exec.pipeline import compile_pipelines
+
+        compiled = compile_pipelines(self.pipelines, self.fusion_report)
+        return [Driver(ops) for ops in compiled]
 
     def _visit_TableScanNode(self, node: plan.TableScanNode):
         connector = self.metadata.connector(node.table.catalog)
@@ -131,6 +134,9 @@ class SimTask:
         )
         planner = SimTaskPlanner(metadata, self)
         self.drivers = planner.plan_fragment(fragment)
+        # Fusion outcome for this task's pipelines; the coordinator
+        # aggregates it into cluster-wide exec.* counters at creation.
+        self.fusion_report = planner.fusion_report
         self.stats = TaskStats()
         self.no_more_splits_flag = False
         self.failed = False

@@ -1,0 +1,77 @@
+"""Pluggable kernel backend for compiled pipelines.
+
+The fused pipeline compiler (``repro.exec.pipeline``) and the page
+processor emit their array work through a :class:`KernelBackend` rather
+than importing numpy directly. The backend exposes an array namespace
+(``xp``) with the numpy API surface, so a cupy-shaped accelerator
+backend can be registered without touching operator code — cupy
+implements the same functions (``flatnonzero``, ``asarray``, ``clip``,
+``where``, ``repeat``, ...) over device arrays, and ``to_host`` is the
+single seam where device results would be gathered back into Blocks.
+
+Today only the numpy backend ships; the registry plus the ``xp``
+indirection is the contract an accelerator port builds against (see
+docs/EXECUTION.md, "Pipeline fusion").
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+class KernelBackend:
+    """Array-execution backend: a numpy-compatible namespace plus
+    host-transfer hooks."""
+
+    #: registry / EXPLAIN name
+    name = "abstract"
+    #: numpy-compatible array module (numpy, cupy, ...)
+    xp = None
+
+    def asarray(self, values, dtype=None):
+        return self.xp.asarray(values, dtype=dtype)
+
+    def to_device(self, array):
+        """Move a host ndarray onto the backend's device (identity on
+        host backends)."""
+        return array
+
+    def to_host(self, array):
+        """Bring a backend array back to a host numpy ndarray. Blocks
+        store host arrays, so every fused pass ends here."""
+        return array
+
+
+class NumpyBackend(KernelBackend):
+    """Default host backend: plain numpy, zero-copy both directions."""
+
+    name = "numpy"
+    xp = np
+
+
+_BACKENDS: dict[str, KernelBackend] = {"numpy": NumpyBackend()}
+
+
+def register_backend(backend: KernelBackend) -> None:
+    """Register an alternative backend (e.g. a cupy port) under its
+    ``name``; selectable via ``REPRO_BACKEND`` or ``get_backend(name)``."""
+    _BACKENDS[backend.name] = backend
+
+
+def available_backends() -> list[str]:
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Resolve a backend by name, the ``REPRO_BACKEND`` environment
+    variable, or the numpy default."""
+    if name is None:
+        name = os.environ.get("REPRO_BACKEND", "numpy")
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"Unknown kernel backend {name!r}; available: {available_backends()}"
+        ) from None

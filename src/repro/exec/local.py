@@ -54,6 +54,7 @@ from repro.exec.operators.sorting import (
     WindowOperator,
 )
 from repro.exec.page import Page, page_from_rows
+from repro.exec.pipeline import FusionReport, compile_pipelines
 from repro.exec import interpreter
 from repro.planner import expressions as ir
 from repro.planner import nodes as plan
@@ -87,6 +88,9 @@ class LocalExecutionPlanner:
         self.metadata = metadata
         self.interpreted = interpreted
         self.pipelines: list[list[Operator]] = []
+        # Filled by the pipeline compiler at plan time: how many
+        # pipelines fused and why the rest fell back (repro.exec.pipeline).
+        self.fusion_report = FusionReport()
         # Live dynamic-filter exchange between build operators and probe
         # scans planned from the same tree (repro.exec.dynamic_filters).
         from repro.exec.dynamic_filters import DynamicFilterRegistry
@@ -103,7 +107,10 @@ class LocalExecutionPlanner:
         collector = OutputCollectorOperator(channels)
         operators.append(collector)
         self.pipelines.append(operators)
-        drivers = [Driver(ops) for ops in self.pipelines]
+        compiled = compile_pipelines(
+            self.pipelines, self.fusion_report, interpreted=self.interpreted
+        )
+        drivers = [Driver(ops) for ops in compiled]
         return drivers, collector
 
     # -- node dispatch -------------------------------------------------------------
@@ -510,6 +517,8 @@ def execute_plan(
     planner = LocalExecutionPlanner(metadata, interpreted=interpreted)
     drivers, collector = planner.plan(logical_plan.root)
     run_drivers_to_completion(drivers)
-    return ExecutionResult(
+    result = ExecutionResult(
         collector.pages, logical_plan.column_names, logical_plan.column_types
     )
+    result.fusion_report = planner.fusion_report
+    return result

@@ -25,6 +25,7 @@ from repro.exec.blocks import (
 )
 from repro.errors import PrestoError
 from repro.exec import kernels
+from repro.exec.backend import KernelBackend, get_backend
 from repro.exec.compiler import (
     CompiledExpression,
     EvalContext,
@@ -81,9 +82,15 @@ class PageProcessor:
         filter_expr: Optional[ir.RowExpression],
         projections: Sequence[ir.RowExpression],
         interpreted: bool = False,
+        backend: Optional[KernelBackend] = None,
     ):
         self.input_symbols = list(input_symbols)
         self.interpreted = interpreted
+        # Array work routes through the pluggable kernel backend
+        # (repro.exec.backend): numpy today, a cupy-shaped namespace
+        # tomorrow. ``xp`` mirrors the numpy API surface.
+        self.backend = backend or get_backend()
+        self._xp = self.backend.xp
         if interpreted:
             self._raw_filter = filter_expr
             self._raw_projections = list(projections)
@@ -138,19 +145,20 @@ class PageProcessor:
     def process(self, page: Page) -> Optional[Page]:
         if self.interpreted:
             return self._process_interpreted(page)
+        xp = self._xp
         ctx = EvalContext(page)
         selected: np.ndarray | None = None
         if self.filter is not None:
             mask = self._filter_mask(page)
             if mask is None:
                 values, nulls = self.filter.evaluate_context(ctx)
-                mask = np.asarray(values, dtype=np.bool_) & ~nulls
+                mask = xp.asarray(values, dtype=np.bool_) & ~nulls
             if not mask.any():
                 return None
             if mask.all():
                 selected = None
             else:
-                selected = np.flatnonzero(mask)
+                selected = xp.flatnonzero(mask)
         row_count = page.row_count if selected is None else len(selected)
         blocks: list[Block] = []
         for index, compiled in enumerate(self.projections):
@@ -163,7 +171,7 @@ class PageProcessor:
 
         names = [s.name for s in self.input_symbols]
         out_rows: list[tuple] = []
-        for row in page.rows():
+        for row in page.rows():  # row-path: interpreted reference mode
             bindings = dict(zip(names, row))
             if self._raw_filter is not None:
                 if interpreter.evaluate(self._raw_filter, bindings) is not True:
@@ -199,6 +207,7 @@ class PageProcessor:
             # would load it anyway; loading it here exposes the chunk's
             # encoding (LazyBlock accounting is identical either way).
             block = block.load()
+        xp = self._xp
         if isinstance(block, RunLengthBlock):
             try:
                 verdict = self.filter.evaluate_row(
@@ -206,7 +215,7 @@ class PageProcessor:
                 )
             except PrestoError:
                 return None
-            return np.full(page.row_count, verdict is True, dtype=np.bool_)
+            return xp.full(page.row_count, verdict is True, dtype=np.bool_)
         if isinstance(block, DictionaryBlock):
             dictionary = block.dictionary
             if not self._heuristic.should_process_dictionary(
@@ -219,9 +228,9 @@ class PageProcessor:
             self._heuristic.record(len(dictionary), page.row_count)
             indices = block.indices
             if len(dictionary) == 0:
-                return np.full(page.row_count, bool(keep[-1]), dtype=np.bool_)
-            clipped = np.clip(indices, 0, None)
-            return np.where(indices < 0, keep[-1], keep[clipped])
+                return xp.full(page.row_count, bool(keep[-1]), dtype=np.bool_)
+            clipped = xp.clip(indices, 0, None)
+            return xp.where(indices < 0, keep[-1], keep[clipped])
         return None
 
     def _filter_entries(
@@ -238,7 +247,7 @@ class PageProcessor:
             values, nulls = self.filter.evaluate_context(
                 entries_context(width, channel, dictionary)
             )
-            keep = np.asarray(values, dtype=np.bool_) & ~nulls
+            keep = self._xp.asarray(values, dtype=np.bool_) & ~nulls
         except PrestoError:
             keep = None
         self._filter_cache = (dictionary, keep)

@@ -38,6 +38,11 @@ every result against the reference oracle:
    must agree with an identical uncached twin, and a repeat with no
    intervening mutation must be served bit-identically from the result
    cache — any stale answer raises ``CacheCoherenceError``
+13. ``fused`` — SimCluster with pipeline fusion (repro.exec.pipeline)
+   forced on for every eligible chain, regardless of the kernel mode:
+   under ``REPRO_KERNELS=row`` this differentially tests the fused
+   single-pass pipelines against the fully unfused row-at-a-time
+   oracle path
 
 Errors are outcomes too: if the oracle raises, every configuration must
 raise an error of the same class.
@@ -73,6 +78,7 @@ CONFIG_NAMES = (
     "raptor",
     "ddl_roundtrip",
     "cache_coherence",
+    "fused",
 )
 
 # The case currently (or most recently) executing. Deliberately NOT
@@ -559,6 +565,16 @@ def run_config(name: str, case_tables, sql: str) -> Outcome:
         return _capture(run_roundtrip)
     if name == "cache_coherence":
         return _capture(lambda: _run_cache_coherence(case_tables, sql))
+    if name == "fused":
+        from repro.exec import pipeline
+
+        cluster = _cluster(case_tables, faults=False)
+
+        def run_forced_fusion() -> list[tuple]:
+            with pipeline.forced_fusion(pipeline.ON):
+                return cluster.run_query(sql).rows()
+
+        return _capture(run_forced_fusion)
     raise ValueError(f"unknown config {name!r}")
 
 

@@ -487,16 +487,23 @@ def _fragment_partitioning(node: plan.PlanNode) -> str:
     return "source" if has_scan else "single"
 
 
-def format_fragmented_plan(fragmented: FragmentedPlan) -> str:
+def format_fragmented_plan(
+    fragmented: FragmentedPlan,
+    annotations: dict[int, str] | None = None,
+) -> str:
+    """Render every fragment; ``annotations`` adds a per-fragment note
+    to the header line (e.g. the fused-pipeline summary in EXPLAIN)."""
     lines = []
     order = sorted(fragmented.fragments)
     for fragment_id in reversed(order):
         fragment = fragmented.fragments[fragment_id]
         keys = ", ".join(s.name for s in fragment.output_keys)
+        note = (annotations or {}).get(fragment_id)
         lines.append(
             f"Fragment {fragment.id} [{fragment.partitioning}] "
             f"output={fragment.output_kind.value}"
             + (f" keys=[{keys}]" if keys else "")
+            + (f" fused=[{note}]" if note else "")
         )
         lines.append(plan.format_plan(fragment.root, indent=1))
         lines.append("")

@@ -30,6 +30,11 @@ HOT_FILES = [
     "src/repro/exec/operators/core.py",
     "src/repro/exec/dynamic_filters.py",
     "src/repro/cluster/shuffle.py",
+    # Pipeline-fusion PR: the compiler, the fused operator, the kernel
+    # backend seam, and the page processor they route through.
+    "src/repro/exec/pipeline.py",
+    "src/repro/exec/backend.py",
+    "src/repro/exec/page_processor.py",
     # Storage layer (columnar scan PR): encode/decode and page sinks.
     "src/repro/connectors/hive/format.py",
     "src/repro/connectors/hive/connector.py",
