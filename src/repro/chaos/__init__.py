@@ -18,6 +18,8 @@ from repro.chaos.campaign import (
     run_affinity_kill,
     run_campaign,
     run_campaigns,
+    run_coordinator_kill,
+    run_partition,
 )
 
 __all__ = [
@@ -28,4 +30,6 @@ __all__ = [
     "run_affinity_kill",
     "run_campaign",
     "run_campaigns",
+    "run_coordinator_kill",
+    "run_partition",
 ]

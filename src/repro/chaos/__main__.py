@@ -59,6 +59,30 @@ def main(argv=None) -> int:
         "memory-pressure kills (ExceededMemoryLimitError)",
     )
     parser.add_argument(
+        "--partitions",
+        type=int,
+        default=0,
+        help="workers to cut off the network mid-campaign (healed later)",
+    )
+    parser.add_argument(
+        "--one-way",
+        action="store_true",
+        help="make injected partitions asymmetric (inbound-only severed)",
+    )
+    parser.add_argument(
+        "--coordinator-kill",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="crash the coordinator at this virtual time and restart it "
+        "100ms later (journal replay re-admits in-flight queries)",
+    )
+    parser.add_argument(
+        "--spool",
+        action="store_true",
+        help="enable the durable output spool (repro.cluster.spool)",
+    )
+    parser.add_argument(
         "--no-recovery",
         action="store_true",
         help="disable task recovery (failure detection still on): queries "
@@ -84,6 +108,11 @@ def main(argv=None) -> int:
         transfer_duplicate_rate=args.duplicate_rate,
         per_node_memory_limit_bytes=args.memory_limit,
         recovery_enabled=not args.no_recovery,
+        partition_count=args.partitions,
+        one_way_partitions=args.one_way,
+        coordinator_kill_at_ms=args.coordinator_kill,
+        spool_enabled=args.spool or args.coordinator_kill is not None,
+        checkpoint_interval_ms=10.0 if args.coordinator_kill is not None else None,
     )
     elapsed = time.time() - started
 

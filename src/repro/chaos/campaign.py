@@ -65,6 +65,24 @@ class ChaosPlan:
     recovery_enabled: bool = True
     heartbeat_interval_ms: float = 50.0
     heartbeat_timeout_ms: float = 200.0
+    # Network partitions: how many (non-crashed) workers to cut off,
+    # when, and whether/when each partition heals. one_way severs only
+    # the inbound direction (the classic asymmetric partition: the node
+    # looks dead but keeps emitting stale output that must be fenced).
+    # All draws are gated on partition_count so legacy plans keep their
+    # PRNG sequences byte-identical.
+    partition_count: int = 0
+    partition_window_ms: tuple[float, float] = (0.5, 8.0)
+    partition_heal_after_ms: Optional[float] = 300.0
+    one_way_partitions: bool = False
+    # Coordinator kill/restart: crash the coordinator at a fixed virtual
+    # time (None disables) and bring it back after a fixed delay; every
+    # journaled-incomplete query is re-admitted and re-planned.
+    coordinator_kill_at_ms: Optional[float] = None
+    coordinator_restart_after_ms: float = 100.0
+    # Durable spooling + checkpoint cadence (repro.cluster.spool/fault).
+    spool_enabled: bool = False
+    checkpoint_interval_ms: Optional[float] = None
 
 
 @dataclass
@@ -97,6 +115,7 @@ class CampaignReport:
     reports: list[QueryReport] = field(default_factory=list)
     crashed_workers: list[str] = field(default_factory=list)
     slowed_workers: list[str] = field(default_factory=list)
+    partitioned_workers: list[str] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
 
     @property
@@ -130,6 +149,7 @@ class CampaignReport:
             f"{len(self.mismatches)} result mismatch(es); "
             f"crashed {self.crashed_workers or 'none'}, "
             f"slowed {self.slowed_workers or 'none'}, "
+            f"partitioned {self.partitioned_workers or 'none'}, "
             f"recovered {self.stats.get('ft.tasks_recovered', 0)} task(s), "
             f"retried {self.stats.get('ft.transfers_retried', 0)} transfer(s), "
             f"dropped {self.stats.get('chaos.duplicates_dropped', 0)} duplicate(s)"
@@ -159,6 +179,8 @@ def _build_cluster(plan: ChaosPlan, tables) -> SimCluster:
             task_recovery_enabled=plan.recovery_enabled,
             heartbeat_interval_ms=plan.heartbeat_interval_ms,
             heartbeat_timeout_ms=plan.heartbeat_timeout_ms,
+            spool_enabled=plan.spool_enabled,
+            checkpoint_interval_ms=plan.checkpoint_interval_ms,
         ),
     )
     cluster = SimCluster(config)
@@ -193,7 +215,15 @@ def run_campaign(plan: ChaosPlan) -> CampaignReport:
     handles: list = [None] * len(cases)
     submit_errors: list = [None] * len(cases)
 
-    def submit(index: int, sql: str) -> None:
+    def submit(index: int, sql: str, retries: int = 10) -> None:
+        # A client that finds the coordinator down retries later (the
+        # paper's stance on coordinator failure); every other submit
+        # error is a real outcome.
+        if not cluster.coordinator_alive and retries > 0:
+            cluster.sim.schedule(
+                25.0, lambda: submit(index, sql, retries - 1)
+            )
+            return
         try:
             handles[index] = cluster.submit(sql)
         except Exception as exc:
@@ -219,9 +249,46 @@ def run_campaign(plan: ChaosPlan) -> CampaignReport:
             at, lambda n=name: cluster.degrade_worker(n, plan.slow_factor)
         )
 
+    # Asymmetric/symmetric partitions against non-crashed workers. Every
+    # draw is inside this branch so partition-free plans reproduce the
+    # historic PRNG sequence exactly.
+    partitioned: list[str] = []
+    if plan.partition_count > 0:
+        candidates = [n for n in survivors if n not in slowed] or survivors
+        partitioned = rng.sample(
+            candidates, min(plan.partition_count, len(candidates))
+        )
+        for name in partitioned:
+            at = rng.uniform(*plan.partition_window_ms)
+            cluster.sim.schedule(
+                at,
+                lambda n=name: cluster.partition_worker(
+                    n, one_way=plan.one_way_partitions
+                ),
+            )
+            if plan.partition_heal_after_ms is not None:
+                cluster.sim.schedule(
+                    at + plan.partition_heal_after_ms,
+                    lambda n=name: cluster.heal_partition(n),
+                )
+
+    if plan.coordinator_kill_at_ms is not None:
+        cluster.sim.schedule(
+            plan.coordinator_kill_at_ms, cluster.crash_coordinator
+        )
+        cluster.sim.schedule(
+            plan.coordinator_kill_at_ms + plan.coordinator_restart_after_ms,
+            cluster.restart_coordinator,
+        )
+
     cluster.run()
 
-    report = CampaignReport(plan, crashed_workers=victims, slowed_workers=slowed)
+    report = CampaignReport(
+        plan,
+        crashed_workers=victims,
+        slowed_workers=slowed,
+        partitioned_workers=partitioned,
+    )
     duplicates_dropped = 0
     for i, case in enumerate(cases):
         handle = handles[i]
@@ -250,6 +317,64 @@ def run_campaign(plan: ChaosPlan) -> CampaignReport:
     report.stats = cluster.stats_snapshot()
     report.stats["chaos.duplicates_dropped"] = duplicates_dropped
     return report
+
+
+# ---------------------------------------------------------------------------
+# Canned scenarios (docs/FAULT_TOLERANCE.md)
+# ---------------------------------------------------------------------------
+
+
+def run_partition(
+    seed: int = 0,
+    queries: int = 6,
+    worker_count: int = 4,
+    one_way: bool = False,
+) -> CampaignReport:
+    """Partition campaign: one worker crashes while another is cut off
+    the network (asymmetric if ``one_way``) and later healed. Durable
+    spooling is on, so drained streams survive both fault kinds; the
+    healed worker's stale task attempts must be fenced, never merged."""
+    plan = ChaosPlan(
+        seed=seed,
+        queries=queries,
+        worker_count=worker_count,
+        crash_count=1,
+        slow_worker_count=0,
+        partition_count=1,
+        one_way_partitions=one_way,
+        partition_heal_after_ms=300.0,
+        spool_enabled=True,
+    )
+    return run_campaign(plan)
+
+
+def run_coordinator_kill(
+    seed: int = 0,
+    queries: int = 6,
+    worker_count: int = 4,
+    kill_at_ms: float = 10.0,
+    restart_after_ms: float = 100.0,
+) -> CampaignReport:
+    """Coordinator kill/restart campaign: the coordinator dies in the
+    middle of the submit window and restarts later, replaying its
+    write-ahead journal. In-flight queries are re-planned from SQL and
+    must still match the oracle bit-exactly; clients that hit the dead
+    coordinator resubmit; checkpoints carry the spent retry budgets
+    across the restart."""
+    plan = ChaosPlan(
+        seed=seed,
+        queries=queries,
+        worker_count=worker_count,
+        crash_count=0,
+        slow_worker_count=0,
+        transient_failure_rate=0.0,
+        transfer_duplicate_rate=0.0,
+        coordinator_kill_at_ms=kill_at_ms,
+        coordinator_restart_after_ms=restart_after_ms,
+        spool_enabled=True,
+        checkpoint_interval_ms=10.0,
+    )
+    return run_campaign(plan)
 
 
 # ---------------------------------------------------------------------------

@@ -24,9 +24,17 @@ from repro.cache import (
 from repro.catalog.metadata import Metadata
 from repro.catalog.schema import QualifiedTableName
 from repro.cluster.cost import CostModel
-from repro.cluster.fault import FailureDetector, FaultToleranceConfig, RetryPolicy
+from repro.cluster.fault import (
+    CoordinatorCheckpoint,
+    CoordinatorJournal,
+    FailureDetector,
+    FaultToleranceConfig,
+    NetworkTopology,
+    RetryPolicy,
+)
 from repro.cluster.query import QueryExecution
 from repro.cluster.sim import Simulation
+from repro.cluster.spool import SpoolStore
 from repro.cluster.task import SimTask
 from repro.cluster.worker import Worker
 from repro.connectors.api import Connector
@@ -185,14 +193,38 @@ class SimCluster:
         # compiled into a FusedPipelineOperator vs. fallbacks by reason.
         self.pipelines_fused = 0
         self.fusion_fallbacks: dict[str, int] = {}
+        # Network topology for partition injection (distinct from
+        # crashes: a partitioned worker keeps running).
+        self.topology = NetworkTopology()
         self.detector = FailureDetector(
             self.sim,
             self.workers,
             self.config.fault_tolerance,
             self._on_worker_detected_dead,
             self._has_active_work,
+            topology=self.topology,
+            on_worker_readmitted=self._on_worker_readmitted,
         )
         self.retry_policy = RetryPolicy(self.config.fault_tolerance)
+        # Durable external spool for drained exchange output; writes are
+        # gated on fault_tolerance.spool_enabled (spool_active).
+        self.spool = SpoolStore()
+        self.spool_bytes_reclaimed = 0
+        # Coordinator durability: write-ahead journal + checkpoints.
+        self.journal = CoordinatorJournal()
+        self.coordinator_alive = True
+        self.coordinator_crashes = 0
+        self.coordinator_restarts = 0
+        self.queries_restarted = 0
+        self._checkpoint_loop_scheduled = False
+        # Partition bookkeeping.
+        self.partitions_injected = 0
+        self.partitions_healed = 0
+        self.partition_drops = 0
+        self.stale_tasks_fenced = 0
+        # worker name -> superseded task attempts whose abort RPC could
+        # not be delivered (node unreachable); killed on rejoin.
+        self._fence_pending: dict[str, list[SimTask]] = {}
         # Deterministic PRNG for fault injection.
         self._fault_state = 0x9E3779B97F4A7C15
         from repro.exec.spill import SpillContext
@@ -239,6 +271,8 @@ class SimCluster:
         resource_group: str | None = None,
     ) -> QueryExecution:
         """Parse, plan, optimize, fragment, and enqueue a query."""
+        if not self.coordinator_alive:
+            raise PrestoError("Coordinator is unavailable")
         if len(self._admission_queue) >= self.config.max_queued_queries:
             raise QueryQueueFullError("Admission queue is full")
         query_id = f"q{next(self._query_counter)}"
@@ -273,9 +307,13 @@ class SimCluster:
         query.on_finish = self._on_query_finish
         query.resource_group = resource_group
         self.queries[query_id] = query
+        # Admission is journaled before the query is queued: a restarted
+        # coordinator re-admits every incomplete journal entry in order.
+        self.journal.record_admission(query_id, sql)
         self._admission_queue.append(query)
         self.sim.schedule(0.0, self._admit)
         self.detector.ensure_running()
+        self._ensure_checkpoint_loop()
         return query
 
     # -- planning + plan cache ------------------------------------------------
@@ -428,6 +466,9 @@ class SimCluster:
         self._admission_queue.extendleft(reversed(deferred))
 
     def _on_query_finish(self, query: QueryExecution) -> None:
+        self.journal.record_completion(query.query_id)
+        # Terminal queries will never replay: reclaim their spool space.
+        self.spool_bytes_reclaimed += self.spool.release_query(query.query_id)
         self._running -= 1
         group = getattr(query, "resource_group", None)
         if group is not None:
@@ -564,6 +605,186 @@ class SimCluster:
             self.on_query_memory_released()
         self.sim.schedule(0.0, self._admit)
 
+    # -- durable spooling ---------------------------------------------------------
+
+    @property
+    def spool_active(self) -> bool:
+        """Spool writes/reads are on only when task recovery is on too:
+        the spool is an extension of lineage recovery, not a substitute."""
+        ft = self.config.fault_tolerance
+        return ft.enabled and ft.spool_enabled and ft.task_recovery_enabled
+
+    # -- network partitions -------------------------------------------------------
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return self.topology.reachable(src, dst)
+
+    def note_fence_pending(self, task: SimTask) -> None:
+        """A superseded attempt could not be aborted over the network
+        (its node is unreachable); remember it so the stale attempt is
+        fenced (killed) the moment the node rejoins."""
+        self._fence_pending.setdefault(task.worker.name, []).append(task)
+
+    def _on_worker_readmitted(self, name: str) -> None:
+        """Heartbeats resumed from a worker previously declared dead
+        (partition healed). Fence any stale attempts still running there,
+        then let queued work spread back onto the node."""
+        worker = self.workers.get(name)
+        for task in self._fence_pending.pop(name, []):
+            if worker is not None:
+                worker.remove_task(task)
+            task.superseded = True
+            task.fail()
+            self.stale_tasks_fenced += 1
+        self.sim.schedule(0.0, self._admit)
+
+    def partition_worker(
+        self,
+        name: str,
+        *,
+        from_coordinator: bool = True,
+        from_peers: bool = True,
+        one_way: bool = False,
+    ) -> None:
+        """Sever a worker's network links without killing its process.
+
+        ``one_way=True`` models an asymmetric partition: the worker can
+        still send (heartbeats leave the node) but nothing reaches it, so
+        heartbeat round trips fail and peers cannot push data to it."""
+        peers = (
+            tuple(w for w in self.workers if w != name) if from_peers else ()
+        )
+        self.topology.partition_worker(
+            name,
+            peers=peers,
+            from_coordinator=from_coordinator,
+            one_way=one_way,
+        )
+        self.partitions_injected += 1
+        self.detector.ensure_running()
+
+    def heal_partition(self, name: str) -> None:
+        """Restore every severed link touching ``name``."""
+        if self.topology.heal_worker(name):
+            self.partitions_healed += 1
+        self.detector.ensure_running()
+
+    def drop_link(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Sever one link (or link pair) between two endpoints."""
+        self.topology.sever(src, dst)
+        if symmetric:
+            self.topology.sever(dst, src)
+        self.partitions_injected += 1
+        self.detector.ensure_running()
+
+    def heal_link(self, src: str, dst: str, symmetric: bool = True) -> None:
+        self.topology.restore(src, dst)
+        if symmetric:
+            self.topology.restore(dst, src)
+        self.detector.ensure_running()
+
+    # -- coordinator crash/restart -----------------------------------------------
+
+    def crash_coordinator(self) -> list[str]:
+        """Kill the coordinator process. Running queries lose all
+        coordinator-side state (task handles, transfer state, results);
+        only the write-ahead journal and checkpoints survive. Returns the
+        ids of queries orphaned by the crash."""
+        if not self.coordinator_alive:
+            return []
+        self.coordinator_alive = False
+        self.coordinator_crashes += 1
+        affected: list[str] = []
+        for query in list(self.queries.values()):
+            if query.state == "running":
+                affected.append(query.query_id)
+                query.abandon()
+        self._admission_queue.clear()
+        self._running = 0
+        self._running_by_group = {}
+        self._memory_blocked_tasks = []
+        return affected
+
+    def restart_coordinator(self) -> list[str]:
+        """Bring a crashed coordinator back. Recovery replays the journal:
+        every admitted-but-incomplete query is re-admitted in original
+        order and re-planned deterministically (same SQL, same catalogs
+        -> same fragments, same split schedule). Returns the re-admitted
+        query ids."""
+        if self.coordinator_alive:
+            return []
+        self.coordinator_alive = True
+        self.coordinator_restarts += 1
+        # A restarted coordinator has no heartbeat history: every worker
+        # gets a fresh detection grace period rather than being declared
+        # dead (or trusted) instantly.
+        self.detector.reset()
+        checkpoint = self.journal.last_checkpoint
+        readmitted: list[str] = []
+        for query_id, _sql in self.journal.incomplete():
+            query = self.queries.get(query_id)
+            if query is None:
+                continue
+            if query.state == "orphaned":
+                retries = 0
+                if checkpoint is not None:
+                    retries = checkpoint.retry_budgets.get(query_id, 0)
+                query.prepare_restart(task_retries=retries)
+                self.queries_restarted += 1
+            elif query.state != "queued":
+                continue
+            self._admission_queue.append(query)
+            readmitted.append(query_id)
+        self.sim.schedule(0.0, self._admit)
+        self.detector.ensure_running()
+        self._ensure_checkpoint_loop()
+        return readmitted
+
+    def checkpoint(self) -> CoordinatorCheckpoint:
+        """Snapshot coordinator progress so a restart can resume retry
+        budgets and prove which spool segments existed."""
+        retry_budgets: dict[str, int] = {}
+        split_journal: dict[str, dict] = {}
+        for query in self.queries.values():
+            if query.state != "running":
+                continue
+            retry_budgets[query.query_id] = getattr(query, "_task_retries", 0)
+            logs = {}
+            for stage in getattr(query, "stages", {}).values():
+                for task in stage.tasks:
+                    logs[task.producer_key] = len(task.split_log)
+            split_journal[query.query_id] = logs
+        snap = CoordinatorCheckpoint(
+            at_ms=self.sim.now,
+            admitted=tuple(q for q, _ in self.journal.admitted),
+            completed=frozenset(self.journal.completed),
+            committed=frozenset(self.journal.commits),
+            retry_budgets=retry_budgets,
+            split_journal=split_journal,
+            spool_manifest=self.spool.manifest(),
+        )
+        self.journal.last_checkpoint = snap
+        self.journal.checkpoints_taken += 1
+        return snap
+
+    def _ensure_checkpoint_loop(self) -> None:
+        interval = self.config.fault_tolerance.checkpoint_interval_ms
+        if interval is None or interval <= 0:
+            return
+        if self._checkpoint_loop_scheduled or not self.coordinator_alive:
+            return
+        self._checkpoint_loop_scheduled = True
+
+        def tick() -> None:
+            self._checkpoint_loop_scheduled = False
+            if not self.coordinator_alive:
+                return
+            self.checkpoint()
+            if self._has_active_work():
+                self._ensure_checkpoint_loop()
+
+        self.sim.schedule(interval, tick)
+
     def _fault_draw(self) -> float:
         self._fault_state = (
             self._fault_state * 6364136223846793005 + 1442695040888963407
@@ -615,6 +836,23 @@ class SimCluster:
             "ft.transfer_duplicates_injected": self.transfer_duplicates_injected,
             "ft.queries_timed_out": self.queries_timed_out,
             "ft.dead_node_bytes_released": self.dead_node_bytes_released,
+            "ft.spool_segments": len(self.spool),
+            "ft.spool_bytes": self.spool.spooled_bytes,
+            "ft.spool_writes": self.spool.segments_written,
+            "ft.spool_hits": self.spool.hits,
+            "ft.spool_misses": self.spool.misses,
+            "ft.spool_checksum_mismatches": self.spool.checksum_mismatches,
+            "ft.spool_bytes_reclaimed": self.spool_bytes_reclaimed,
+            "ft.partitions_injected": self.partitions_injected,
+            "ft.partitions_healed": self.partitions_healed,
+            "ft.partition_drops": self.partition_drops,
+            "ft.workers_readmitted": self.detector.workers_readmitted,
+            "ft.stale_tasks_fenced": self.stale_tasks_fenced,
+            "ft.coordinator_crashes": self.coordinator_crashes,
+            "ft.coordinator_restarts": self.coordinator_restarts,
+            "ft.queries_restarted": self.queries_restarted,
+            "ft.checkpoints_taken": self.journal.checkpoints_taken,
+            "ft.commits_fenced": self.journal.commits_fenced,
             "df.filters_published": self.df_filters_published,
             "df.filters_republished": self.df_filters_republished,
             "df.splits_pruned": self.df_splits_pruned,

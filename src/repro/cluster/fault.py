@@ -17,6 +17,12 @@ form the paper names as future work, on the virtual clock:
   jitter for transient transfer failures, replacing an unbounded
   fixed-delay loop. Delays are a pure function of (key, attempt), so
   simulations stay reproducible.
+- :class:`NetworkTopology` — directed link-level partition injection.
+  A severed link is distinct from a crash: the worker keeps running
+  (and producing stale output), it just cannot exchange heartbeats or
+  data over that link. The detector treats an unreachable worker like a
+  silent one, and *re-admits* it when the partition heals — at which
+  point the cluster fences any stale task attempts still running there.
 - :class:`FaultToleranceConfig` — the knobs, carried on
   :class:`~repro.cluster.cluster.ClusterConfig`.
 
@@ -27,8 +33,8 @@ is the detection/policy layer feeding it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
 
 if TYPE_CHECKING:
     from repro.cluster.worker import Worker
@@ -65,6 +71,16 @@ class FaultToleranceConfig:
     # Wall-clock (virtual) query timeout; None disables. Timed-out
     # queries are killed with ExceededTimeLimitError.
     query_timeout_ms: float | None = None
+    # Durable spooling: every delivery the transfer service polls is
+    # also written to the cluster's external SpoolStore, so a fully
+    # drained stream survives the producer's node (and enables retained-
+    # buffer GC once consumers acknowledge past a segment).
+    spool_enabled: bool = False
+    # Coordinator checkpointing: snapshot the query journal (admitted
+    # queries, retry budgets, split journal, spool manifest) onto the
+    # virtual clock every interval. None disables the loop (the
+    # write-ahead journal itself is always maintained).
+    checkpoint_interval_ms: float | None = None
 
 
 def _splitmix64(x: int) -> int:
@@ -102,15 +118,147 @@ class RetryPolicy:
         return backoff * (1.0 + config.transfer_jitter_fraction * fraction)
 
 
+@dataclass
+class CoordinatorCheckpoint:
+    """Periodic snapshot of coordinator execution state, taken on the
+    virtual clock. A restarted coordinator replays the journal for
+    *what* to re-run and the checkpoint for *how far* it had gotten:
+    retry budgets spent (so a crash loop cannot launder them), the
+    per-task split journal, and the spool manifest of streams that
+    already survived durably."""
+
+    at_ms: float
+    admitted: tuple[str, ...]
+    completed: frozenset[str]
+    committed: frozenset[str]
+    # query_id -> task retries already spent.
+    retry_budgets: dict[str, int] = field(default_factory=dict)
+    # query_id -> {(producer_key): split count journaled}.
+    split_journal: dict[str, dict[tuple, int]] = field(default_factory=dict)
+    # SpoolStore.manifest() snapshot.
+    spool_manifest: dict = field(default_factory=dict)
+
+
+class CoordinatorJournal:
+    """Write-ahead journal of coordinator decisions that must survive a
+    coordinator crash: query admissions (with their SQL), completions,
+    and metadata commits. Modeled as durable storage — a crash loses
+    every in-memory execution structure but never the journal, which is
+    what makes restart-and-re-plan (and exactly-once INSERT commits)
+    possible."""
+
+    def __init__(self):
+        # (query_id, sql) in admission order.
+        self.admitted: list[tuple[str, str]] = []
+        # Terminal states (finished or failed): nothing to re-run.
+        self.completed: set[str] = set()
+        # Queries whose TableFinish commit was applied to metadata.
+        self.commits: set[str] = set()
+        self.commits_fenced = 0
+        self.checkpoints_taken = 0
+        self.last_checkpoint: Optional[CoordinatorCheckpoint] = None
+
+    def record_admission(self, query_id: str, sql: str) -> None:
+        self.admitted.append((query_id, sql))
+
+    def record_completion(self, query_id: str) -> None:
+        self.completed.add(query_id)
+
+    def try_commit(self, query_id: str) -> bool:
+        """First-apply-wins commit fence: journal the commit and return
+        True exactly once per query; replayed finish tasks and post-
+        commit restarts see False and skip the metadata apply."""
+        if query_id in self.commits:
+            self.commits_fenced += 1
+            return False
+        self.commits.add(query_id)
+        return True
+
+    def incomplete(self) -> list[tuple[str, str]]:
+        """Admitted-but-not-terminal queries, in admission order — the
+        restart re-admission work list."""
+        return [
+            (query_id, sql)
+            for query_id, sql in self.admitted
+            if query_id not in self.completed
+        ]
+
+
+class NetworkTopology:
+    """Directed reachability between cluster endpoints.
+
+    Links are healthy unless explicitly severed; ``(src, dst)`` pairs
+    are directional so asymmetric (one-way) partitions are expressible:
+    a worker that can send but not receive, or vice versa. The
+    coordinator participates as the ``COORDINATOR`` endpoint — severing
+    its links cuts the control plane (heartbeats, task RPCs) while
+    worker↔worker data links may stay up, and the other way round.
+    """
+
+    COORDINATOR = "coordinator"
+
+    def __init__(self):
+        self._severed: set[tuple[str, str]] = set()
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return src == dst or (src, dst) not in self._severed
+
+    def sever(self, src: str, dst: str) -> None:
+        if src != dst:
+            self._severed.add((src, dst))
+
+    def restore(self, src: str, dst: str) -> None:
+        self._severed.discard((src, dst))
+
+    def partition_worker(
+        self,
+        name: str,
+        peers: tuple[str, ...] = (),
+        from_coordinator: bool = True,
+        one_way: bool = False,
+    ) -> None:
+        """Cut ``name`` off from the coordinator and/or its peers.
+
+        ``one_way=True`` severs only the inbound direction: nobody can
+        reach the worker, but the worker can still push outbound — the
+        classic asymmetric partition where a node looks dead to the
+        detector yet keeps emitting (stale) output that fencing must
+        refuse."""
+        endpoints = list(peers)
+        if from_coordinator:
+            endpoints.append(self.COORDINATOR)
+        for other in endpoints:
+            self.sever(other, name)
+            if not one_way:
+                self.sever(name, other)
+
+    def heal_worker(self, name: str) -> bool:
+        """Restore every link touching ``name``; True if any was cut."""
+        doomed = [pair for pair in self._severed if name in pair]
+        for pair in doomed:
+            self._severed.discard(pair)
+        return bool(doomed)
+
+    def is_partitioned(self, name: str) -> bool:
+        return any(name in pair for pair in self._severed)
+
+
 class FailureDetector:
     """Coordinator-side heartbeat monitor on the virtual clock.
 
     While the cluster has active work, a monitor tick runs every
-    ``heartbeat_interval_ms``: live workers answer (their last-seen time
-    advances), crashed workers do not (``heartbeats_missed`` grows).
-    Once a worker has been silent for ``heartbeat_timeout_ms`` it is
-    declared dead and ``on_worker_dead`` fires exactly once. The loop
-    parks itself when the cluster goes idle so the event heap can drain.
+    ``heartbeat_interval_ms``: live *reachable* workers answer (their
+    last-seen time advances), crashed or partitioned workers do not
+    (``heartbeats_missed`` grows). Once a worker has been silent for
+    ``heartbeat_timeout_ms`` it is declared dead and ``on_worker_dead``
+    fires. A heartbeat is a round trip, so severing either direction of
+    the coordinator link silences the worker — the detector cannot (and
+    should not) distinguish a crash from a partition. What it *can* do
+    is notice a declared-dead worker answering again after the
+    partition heals: it is re-admitted via ``on_worker_readmitted``
+    (crashed workers never answer, so they never come back this way).
+    The loop parks itself when the cluster goes idle so the event heap
+    can drain.
     """
 
     def __init__(
@@ -120,15 +268,20 @@ class FailureDetector:
         config: FaultToleranceConfig,
         on_worker_dead: Callable[[str], None],
         has_active_work: Callable[[], bool],
+        topology: NetworkTopology | None = None,
+        on_worker_readmitted: Callable[[str], None] | None = None,
     ):
         self.sim = sim
         self.workers = workers
         self.config = config
         self.on_worker_dead = on_worker_dead
         self.has_active_work = has_active_work
+        self.topology = topology
+        self.on_worker_readmitted = on_worker_readmitted
         self.last_heartbeat: dict[str, float] = {}
         self.detected_dead: set[str] = set()
         self.heartbeats_missed = 0
+        self.workers_readmitted = 0
         self._loop_scheduled = False
 
     def believes_alive(self, name: str) -> bool:
@@ -147,13 +300,41 @@ class FailureDetector:
         self._loop_scheduled = True
         self.sim.schedule(self.config.heartbeat_interval_ms, self._tick)
 
+    def reset(self) -> None:
+        """Coordinator restart: detection state was coordinator memory.
+        Every worker gets a fresh grace period from *now* — a worker
+        that is actually down will be re-detected after one timeout."""
+        now = self.sim.now
+        self.detected_dead.clear()
+        self.last_heartbeat = {name: now for name in self.workers}
+
+    def _heartbeat_ok(self, worker: "Worker") -> bool:
+        """Does the ping round trip? Needs a live worker and both
+        directions of its coordinator link."""
+        if not worker.alive:
+            return False
+        topology = self.topology
+        if topology is None:
+            return True
+        return topology.reachable(
+            NetworkTopology.COORDINATOR, worker.name
+        ) and topology.reachable(worker.name, NetworkTopology.COORDINATOR)
+
     def _tick(self) -> None:
         self._loop_scheduled = False
         now = self.sim.now
         for name, worker in self.workers.items():
+            answered = self._heartbeat_ok(worker)
             if name in self.detected_dead:
+                if answered and self.on_worker_readmitted is not None:
+                    # The partition healed: the node answers again and
+                    # rejoins the placement pool (after fencing).
+                    self.detected_dead.discard(name)
+                    self.last_heartbeat[name] = now
+                    self.workers_readmitted += 1
+                    self.on_worker_readmitted(name)
                 continue
-            if worker.alive:
+            if answered:
                 self.last_heartbeat[name] = now
                 continue
             self.heartbeats_missed += 1

@@ -177,6 +177,15 @@ class QueryExecution:
         self._root_deliveries = 0
         self._timeout_event = None
         self.tasks_recovered = 0
+        # Round-robin routing journals shared across attempts, keyed by
+        # producer_key (adaptive writer scaling under recovery).
+        self._routing_log: dict[tuple[int, int], list[int]] = {}
+        # Incarnation counter: every internal event closure is scheduled
+        # through _later() and carries the incarnation it was created
+        # under. abandon() (coordinator crash) bumps it, so closures
+        # from a previous run no-op instead of firing into the re-run.
+        self._incarnation = 0
+        self.restarts = 0
         # -- dynamic filter state --------------------------------------
         # filter id -> merged DynamicFilter, complete and usable.
         self._df_ready: dict[str, object] = {}
@@ -195,6 +204,18 @@ class QueryExecution:
     # Startup
     # ------------------------------------------------------------------
 
+    def _later(self, delay_ms: float, fn) -> None:
+        """Schedule an internal event guarded by the current incarnation:
+        if the coordinator crashes (abandon) before it fires, the stale
+        closure is inert against the restarted run."""
+        token = self._incarnation
+
+        def fire() -> None:
+            if self._incarnation == token:
+                fn()
+
+        self.cluster.sim.schedule(delay_ms, fire)
+
     def start(self) -> None:
         self.state = "running"
         self.started_at = self.cluster.sim.now
@@ -206,7 +227,7 @@ class QueryExecution:
         if self._try_serve_cached_result():
             return
         if self.startup_delay_ms > 0:
-            self.cluster.sim.schedule(self.startup_delay_ms, self._start_stages)
+            self._later(self.startup_delay_ms, self._start_stages)
         else:
             self._start_stages()
 
@@ -256,6 +277,16 @@ class QueryExecution:
             self._timeout_event.cancel()
             self._timeout_event = None
 
+    def _commit_guard(self):
+        """First-apply-wins fence for TableFinish commits, backed by the
+        cluster's write-ahead journal: a replayed finish task or a
+        post-commit coordinator restart must not apply the write twice."""
+        journal = getattr(self.cluster, "journal", None)
+        if journal is None:
+            return None
+        query_id = self.query_id
+        return lambda: journal.try_commit(query_id)
+
     def _create_stages(self) -> None:
         cluster = self.cluster
         fragments = self.fragmented.fragments
@@ -296,6 +327,10 @@ class QueryExecution:
                         list(node.outputs),
                         list(node.ordering),
                     )
+            scaling = (
+                fragment.output_kind is plan.ExchangeKind.ROUND_ROBIN
+                and cluster.config.writer_scaling_enabled
+            )
             for partition, worker in enumerate(placements[fragment_id]):
                 task = SimTask(
                     task_id=f"{self.query_id}.{fragment_id}.{partition}",
@@ -309,21 +344,24 @@ class QueryExecution:
                     cost_model=cluster.cost_model,
                     buffer_capacity=cluster.config.output_buffer_bytes,
                     retain_output=self._recovery_active,
+                    # Adaptive round-robin routing is timing-dependent;
+                    # under recovery every choice is journaled so a
+                    # replacement attempt replays the identical routes
+                    # (docs/FAULT_TOLERANCE.md).
+                    routing_log=self._routing_log.setdefault(
+                        (fragment_id, partition), []
+                    )
+                    if scaling and self._recovery_active
+                    else None,
+                    on_commit=self._commit_guard(),
                 )
                 cluster.record_fusion(task.fusion_report)
                 # Output pages become visible only when the producing
                 # quantum's virtual time completes (on_task_quantum), so
                 # data flow cannot outrun the simulated clock.
-                if (
-                    fragment.output_kind is plan.ExchangeKind.ROUND_ROBIN
-                    and cluster.config.writer_scaling_enabled
-                    and not self._recovery_active
-                ):
+                if scaling:
                     # Adaptive writer scaling (Sec. IV-E3): start with one
-                    # active writer; scale up on buffer pressure. Pinned
-                    # off under task recovery: the adaptive routing is
-                    # timing-dependent, which would break deterministic
-                    # replay (see docs/FAULT_TOLERANCE.md).
+                    # active writer; scale up on buffer pressure.
                     task.output_buffer.active_partitions = 1
                     task.output_buffer.pressure_threshold = (
                         cluster.config.writer_scaling_utilization_threshold
@@ -452,7 +490,7 @@ class QueryExecution:
                 # very first split fetch lets a fast build side prune
                 # splits before any are assigned. Expired waits degrade
                 # gracefully to unfiltered reads.
-                self.cluster.sim.schedule(_SPLIT_BATCH_LATENCY_MS, fetch)
+                self._later(_SPLIT_BATCH_LATENCY_MS, fetch)
                 return
             batch = schedule.split_source.get_next_batch(_SPLIT_BATCH_SIZE)
             for split in batch:
@@ -468,9 +506,9 @@ class QueryExecution:
                         task.scan_operators[schedule.scan_index].no_more_splits()
                         task.worker.kick(task)
             else:
-                self.cluster.sim.schedule(_SPLIT_BATCH_LATENCY_MS, fetch)
+                self._later(_SPLIT_BATCH_LATENCY_MS, fetch)
 
-        self.cluster.sim.schedule(_SPLIT_BATCH_LATENCY_MS, fetch)
+        self._later(_SPLIT_BATCH_LATENCY_MS, fetch)
 
     def _df_wait_blocked(self, schedule: _ScanSchedule) -> bool:
         node = schedule.node
@@ -633,8 +671,10 @@ class QueryExecution:
         ):
             # The node is down: its buffered output is unreachable.
             # Recovery re-executes the task once the detector fires.
-            # (A fully drained stream is treated as durably spooled —
-            # only its EOF announcement may still need to go out.)
+            # (A fully drained stream survives in the spool store when
+            # spooling is on — only its EOF announcement may still need
+            # to go out; without the spool the retained buffer stands in
+            # for durable storage, a documented simulation shortcut.)
             return
         delivery = task.output_buffer.poll(partition)
         if delivery is None:
@@ -643,6 +683,13 @@ class QueryExecution:
                 self._transfer_eof.add(eof_key)
                 self._deliver_eof(task, partition)
             return
+        if self.cluster.spool_active:
+            # Durable spooling happens at poll time (the page leaves the
+            # producer's pending window here), charged zero virtual time:
+            # enabling the spool changes what survives, not any timing.
+            self.cluster.spool.put(
+                self.query_id, task.producer_key, partition, delivery
+            )
         self._transfer_inflight.add(key)
         cost = self.cluster.cost_model.transfer_ms(delivery.bytes)
         self.cluster.network_bytes += delivery.bytes
@@ -654,7 +701,17 @@ class QueryExecution:
             nonlocal attempt
             if self.state != "running":
                 return
-            if self.cluster.roll_transient_failure():
+            consumer_task = self.stages[consumer_stage_id].tasks[partition]
+            failed = self.cluster.roll_transient_failure()
+            if not failed and not self.cluster.reachable(
+                task.worker.name, consumer_task.worker.name
+            ):
+                # Severed data link (network partition): the pull times
+                # out like a transient error and retries; a partition
+                # that outlives the retry budget escalates to recovery.
+                self.cluster.partition_drops += 1
+                failed = True
+            if failed:
                 # Transient shuffle error (Sec. IV-G): retried at a low
                 # level with bounded exponential backoff + deterministic
                 # jitter; exhausting the budget escalates.
@@ -664,16 +721,16 @@ class QueryExecution:
                     self._transfer_inflight.discard(key)
                     self._escalate_transfer_failure(task, partition, delivery)
                     return
-                self.cluster.sim.schedule(
+                self._later(
                     policy.delay_ms((key, delivery.seq), attempt), deliver
                 )
                 return
             self._transfer_inflight.discard(key)
-            consumer_task = self.stages[consumer_stage_id].tasks[partition]
             client = consumer_task.exchange_clients[client_key]
             accepted = client.deliver(delivery.page, producer_key, delivery.seq)
             if accepted and replay_key not in self._replays:
                 self._record_delivery(replay_key, producer_key, delivery.seq)
+                self._release_acked(task, partition, delivery.seq)
             consumer_task.worker.kick(consumer_task)
             # Space was freed on the producer: it may be unblocked now.
             task.worker.kick(task)
@@ -683,7 +740,17 @@ class QueryExecution:
                 )
             self._pump_transfers(task, partition)
 
-        self.cluster.sim.schedule(cost, deliver)
+        self._later(cost, deliver)
+
+    def _release_acked(self, task: SimTask, partition: int, seq: int) -> None:
+        """Retained-buffer GC: once the consumer acknowledged a segment
+        and the spool holds the durable copy, the producer-side retained
+        page is released (replay reads it from the spool instead)."""
+        if not self.cluster.spool_active:
+            return
+        released = task.output_buffer.release_retained(partition, seq)
+        if released:
+            self.cluster.spool_bytes_reclaimed += released
 
     def _record_delivery(self, replay_key, producer_key, seq: int) -> None:
         if not self._recovery_active:
@@ -708,7 +775,7 @@ class QueryExecution:
             client.deliver(delivery.page, producer_key, delivery.seq)
             consumer_task.worker.kick(consumer_task)
 
-        self.cluster.sim.schedule(cost, duplicate)
+        self._later(cost, duplicate)
 
     def _escalate_transfer_failure(self, task: SimTask, partition: int, delivery) -> None:
         """A transfer exhausted its retry budget: re-execute the
@@ -741,7 +808,7 @@ class QueryExecution:
             client.producer_finished(producer_key)
             consumer_task.worker.kick(consumer_task)
 
-        self.cluster.sim.schedule(self.cluster.cost_model.network_latency_ms, eof)
+        self._later(self.cluster.cost_model.network_latency_ms, eof)
 
     # -- client-side result consumption ------------------------------------------
 
@@ -769,6 +836,9 @@ class QueryExecution:
             if delivery is not None:
                 self.result_pages.append(delivery.page)
                 self._root_deliveries += 1
+                # The client's fetch is the ack; the coordinator keeps
+                # the pages, so the retained copy can be GC'd.
+                self._release_acked(root_task, 0, delivery.seq)
                 root_task.worker.kick(root_task)
                 # Model client download bandwidth (slow BI clients hold
                 # buffers, Sec. IV-E2).
@@ -782,11 +852,11 @@ class QueryExecution:
                     self._client_poll_scheduled = False
                     self._schedule_client_poll()
 
-                self.cluster.sim.schedule(delay, next_poll)
+                self._later(delay, next_poll)
                 return
             self._check_done()
 
-        self.cluster.sim.schedule(0.1, poll)
+        self._later(0.1, poll)
 
     # ------------------------------------------------------------------
     # Task-level recovery (lineage-style re-execution)
@@ -824,9 +894,12 @@ class QueryExecution:
                 if task.worker.name != worker_name:
                     continue
                 if task.is_finished() and task.output_drained():
-                    # Fully produced and fully acknowledged: the retained
-                    # stream is treated as durably spooled, so replay can
-                    # still re-request it after the node loss.
+                    # Fully produced and fully acknowledged: with the
+                    # spool store enabled every polled segment is durably
+                    # spooled, so replay re-requests it from the spool
+                    # instead of re-executing the task. (Spool off keeps
+                    # the legacy shortcut of reading the retained buffer;
+                    # see docs/FAULT_TOLERANCE.md.)
                     continue
                 lost.append(task)
         return lost
@@ -856,8 +929,18 @@ class QueryExecution:
         replacements: list[tuple[SimTask, SimTask]] = []
         for old in lost:
             old.superseded = True
-            old.worker.remove_task(old)
-            old.fail()  # close drivers; late quanta are ignored
+            if self.cluster.reachable(
+                self.cluster.topology.COORDINATOR, old.worker.name
+            ):
+                old.worker.remove_task(old)
+                old.fail()  # close drivers; late quanta are ignored
+            else:
+                # Partitioned, not crashed: the abort RPC cannot reach
+                # the node, so the stale attempt keeps running there.
+                # Exchange-level dedup plus the superseded flag already
+                # fence its output; the task itself is killed when the
+                # partition heals and the worker rejoins.
+                self.cluster.note_fence_pending(old)
             replacements.append((old, self._build_replacement(old, live)))
         # Wire after *all* swaps so upstream/downstream lookups resolve
         # to current attempts even when several tasks die together.
@@ -893,8 +976,15 @@ class QueryExecution:
             buffer_capacity=cluster.config.output_buffer_bytes,
             retain_output=True,
             attempt=attempt,
+            routing_log=self._routing_log.get(old.producer_key),
+            on_commit=self._commit_guard(),
         )
         cluster.record_fusion(new.fusion_report)
+        # Carry adaptive writer-scaling state across attempts: the
+        # journaled routing log replays past routes exactly; new pages
+        # route against the scale-up level already reached.
+        new.output_buffer.active_partitions = old.output_buffer.active_partitions
+        new.output_buffer.pressure_threshold = old.output_buffer.pressure_threshold
         self.stages[fragment.id].tasks[old.partition] = new
         return new
 
@@ -903,7 +993,6 @@ class QueryExecution:
         fragment_id = new.fragment.id
         producer_key = new.producer_key
         consumer = self._consumers.get(fragment_id)
-        sim = self.cluster.sim
         # (a) Producer side: skip the output its consumers already
         # acknowledged. Regenerated pages below the cursor are recorded
         # (sequence numbers stay aligned) but never re-sent or counted
@@ -957,10 +1046,10 @@ class QueryExecution:
         for client_key in new.exchange_clients:
             replay_key = (fragment_id, new.partition, client_key)
             if replay_key in self._replays:
-                sim.schedule(0.0, lambda rk=replay_key: self._advance_replay(rk))
+                self._later(0.0, lambda rk=replay_key: self._advance_replay(rk))
             for fid in client_key:
                 for producer in self.stages[fid].tasks:
-                    sim.schedule(
+                    self._later(
                         0.0,
                         lambda pr=producer, p=new.partition: self._pump_transfers(pr, p),
                     )
@@ -985,8 +1074,24 @@ class QueryExecution:
         producer = self.stages[producer_key[0]].tasks[producer_key[1]]
         if not producer.worker.alive and not producer.output_buffer.is_drained(partition):
             return  # the producer died too; its replacement re-triggers us
-        delivery = producer.output_buffer.get_delivery(partition, seq)
+        delivery = self._replay_source(producer, partition, seq)
         if delivery is None:
+            if self.cluster.spool_active and producer.output_buffer.is_drained(
+                partition
+            ):
+                # The stream is supposedly complete, yet neither worker
+                # memory nor the spool can serve this segment (lost or
+                # checksum-corrupt): fall back to lineage re-execution
+                # of the producer — its regenerated buffer serves the
+                # replay directly.
+                if not self.recover_tasks([producer]):
+                    self.fail(
+                        TransferFailedError(
+                            f"Spooled segment {producer.producer_key}/"
+                            f"{partition}/{seq} unrecoverable and task "
+                            "recovery exhausted"
+                        )
+                    )
             return  # not regenerated yet; producer quanta re-trigger us
         state.inflight = True
         cost = self.cluster.cost_model.transfer_ms(delivery.bytes)
@@ -1005,7 +1110,23 @@ class QueryExecution:
             consumer_task.worker.kick(consumer_task)
             self._advance_replay(replay_key)
 
-        self.cluster.sim.schedule(cost, arrive)
+        self._later(cost, arrive)
+
+    def _replay_source(self, producer: SimTask, partition: int, seq: int):
+        """Where a replayed delivery is read from: the producer's
+        retained buffer while its node is alive and still holds the
+        slot, otherwise the durable spool (dead node, or GC reclaimed
+        the retained copy). With spooling off the retained buffer stands
+        in for durable storage even across node death — the legacy
+        simulation shortcut the spool store removes."""
+        buffered = producer.output_buffer.get_delivery(partition, seq)
+        if not self.cluster.spool_active:
+            return buffered
+        if producer.worker.alive and buffered is not None:
+            return buffered
+        return self.cluster.spool.get(
+            self.query_id, producer.producer_key, partition, seq
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -1059,7 +1180,7 @@ class QueryExecution:
         partials[partition] = filter_
         # Simulated collection/propagation latency: the filter becomes
         # usable one network hop after the last partial is published.
-        self.cluster.sim.schedule(
+        self._later(
             self.cluster.config.dynamic_filter_latency_ms,
             lambda: self._merge_dynamic_filter(filter_.filter_id),
         )
@@ -1153,6 +1274,64 @@ class QueryExecution:
                 task.worker.remove_task(task)
         self.cluster.memory_manager.release_query(self.query_id)
         self.cluster.on_query_memory_released()
+
+    # ------------------------------------------------------------------
+    # Coordinator crash/restart
+    # ------------------------------------------------------------------
+
+    def abandon(self) -> None:
+        """Coordinator crash: every coordinator-side execution structure
+        for this query dies with it — stages, transfer/replay state,
+        delivery logs, partial results. Worker-side attempts are torn
+        down too (workers cancel tasks whose coordinator went away).
+        What survives is this handle (the client's view plus the
+        write-ahead journal entry) and the durable spool; a restarted
+        coordinator re-plans deterministically via prepare_restart().
+        Bumping the incarnation makes every event closure scheduled by
+        the crashed run inert against the re-run."""
+        if self.state != "running":
+            return
+        self._incarnation += 1
+        self.state = "orphaned"
+        self._cancel_timeout()
+        for stage in self.stages.values():
+            for task in stage.tasks:
+                task.superseded = True
+                task.worker.remove_task(task)
+                task.fail()
+        self.stages.clear()
+        self._consumers.clear()
+        self._transfer_inflight.clear()
+        self._transfer_eof.clear()
+        self._delivery_log.clear()
+        self._delivered_counts.clear()
+        self._replays.clear()
+        self._attempts.clear()
+        self._routing_log.clear()
+        self._df_ready.clear()
+        self._df_partials.clear()
+        self._df_expected.clear()
+        self._df_counter_seen.clear()
+        self.result_pages = []
+        self._root_deliveries = 0
+        self._client_poll_scheduled = False
+        self._result_fill_versions = None
+        self.cluster.memory_manager.release_query(self.query_id)
+        self.cluster.on_query_memory_released()
+
+    def prepare_restart(self, task_retries: int = 0) -> None:
+        """Journal replay on coordinator restart: return the query to
+        the admission queue for a deterministic re-plan. The retry
+        budget already spent (from the last checkpoint) carries over so
+        a crash loop cannot launder it; a commit already journaled is
+        fenced, so an in-flight INSERT cannot double-finish."""
+        if self.state != "orphaned":
+            return
+        self.state = "queued"
+        self.restarts += 1
+        self._task_retries = task_retries
+        self.started_at = None
+        self.finished_at = None
 
     # -- results -----------------------------------------------------------------
 

@@ -163,6 +163,25 @@ class OutputBuffer:
         assert not self._partitions[partition], "resume_from on a used buffer"
         self._cursors[partition] = seq
 
+    def release_retained(self, partition: int, seq: int) -> int:
+        """GC one retained, already-polled delivery after the consumer
+        acknowledged it *and* the segment is durably spooled. Returns
+        the bytes released (0 if already gone or still pending). Only
+        entries strictly below the cursor are eligible: the in-flight
+        window [acked, cursor) is never touched, and ``rewind_to`` never
+        rewinds below the acknowledged count, so a GC'd slot can only be
+        read again via the spool."""
+        if not self.retain:
+            return 0
+        entries = self._partitions[partition]
+        if seq >= self._cursors[partition] or seq >= len(entries):
+            return 0
+        entry = entries[seq]
+        if entry is None:
+            return 0
+        entries[seq] = None
+        return entry.bytes
+
     def rewind_to(self, partition: int, seq: int) -> None:
         """Move the send cursor back to ``seq`` (requires retention).
         Pages past it become pending again and are re-sent — used when a
@@ -203,6 +222,7 @@ class ExchangeSinkOperator(Operator):
         buffer: OutputBuffer,
         kind: ExchangeKind,
         partition_channels: Sequence[int] = (),
+        routing_log: Optional[list] = None,
     ):
         super().__init__()
         self.buffer = buffer
@@ -210,6 +230,12 @@ class ExchangeSinkOperator(Operator):
         self.partition_channels = list(partition_channels)
         self._finished = False
         self._round_robin_counter = -1
+        # Deterministic round-robin replay under task recovery: adaptive
+        # writer scaling makes the partition choice timing-dependent, so
+        # the coordinator shares one append-only log of choices per
+        # logical producer across attempts. A replayed page takes the
+        # logged route; a first-time page routes adaptively and appends.
+        self.routing_log = routing_log
 
     def needs_input(self) -> bool:
         # Backpressure: a full buffer stalls the pipeline (Sec. IV-E2).
@@ -233,9 +259,17 @@ class ExchangeSinkOperator(Operator):
                 buffer.add(partition, page)
             return
         if self.kind is ExchangeKind.ROUND_ROBIN:
-            active = max(1, min(buffer.active_partitions, buffer.partition_count))
             self._round_robin_counter += 1
-            buffer.add(self._round_robin_counter % active, page)
+            index = self._round_robin_counter
+            log = self.routing_log
+            if log is not None and index < len(log):
+                buffer.add(log[index], page)
+                return
+            active = max(1, min(buffer.active_partitions, buffer.partition_count))
+            partition = index % active
+            if log is not None:
+                log.append(partition)
+            buffer.add(partition, page)
             return
         # Hash repartition on the partition channels.
         count = buffer.partition_count

@@ -44,6 +44,7 @@ class SimTaskPlanner(LocalExecutionPlanner):
             self.task.output_buffer,
             fragment.output_kind,
             [_channel(symbols, s) for s in fragment.output_keys],
+            routing_log=self.task.routing_log,
         )
         operators.append(sink)
         self.pipelines.append(operators)
@@ -69,6 +70,25 @@ class SimTaskPlanner(LocalExecutionPlanner):
     def _visit_RemoteSourceNode(self, node: plan.RemoteSourceNode):
         client = self.task.exchange_clients[tuple(node.fragment_ids)]
         return [ExchangeSourceOperator(client)], list(node.outputs)
+
+    def _visit_TableFinishNode(self, node: plan.TableFinishNode):
+        # Exactly-once commit under fault tolerance: the coordinator's
+        # write-ahead journal fences the metadata apply, so a replayed
+        # TableFinish task (or a re-run after coordinator restart)
+        # regenerates the same row count without applying the write a
+        # second time.
+        operators, _symbols = self.visit(node.source)
+        metadata = self.metadata
+        commit_guard = self.task.on_commit
+
+        def commit(fragments):
+            if commit_guard is None or commit_guard():
+                metadata.finish_insert(node.target, node.insert_handle, fragments)
+
+        from repro.exec.local import TableFinishOperator
+
+        operators.append(TableFinishOperator(commit))
+        return operators, [node.rows_symbol]
 
     def _visit_OutputNode(self, node: plan.OutputNode):
         # The root fragment's OutputNode maps symbols to client columns.
@@ -106,6 +126,8 @@ class SimTask:
         buffer_capacity: int,
         retain_output: bool = False,
         attempt: int = 0,
+        routing_log: Optional[list] = None,
+        on_commit: Optional[object] = None,
     ):
         self.task_id = task_id
         self.query_id = query_id
@@ -113,6 +135,12 @@ class SimTask:
         self.worker = worker
         self.partition = partition
         self.cost_model = cost_model
+        # Coordinator-owned round-robin routing journal shared across
+        # re-execution attempts (writer scaling under recovery); None
+        # when the fragment's routing is timing-independent.
+        self.routing_log = routing_log
+        # Commit fence for TableFinish (exactly-once metadata apply).
+        self.on_commit = on_commit
         # Stable identity across re-execution attempts: consumers dedup
         # and re-request streams by this key, not by task_id.
         self.attempt = attempt

@@ -102,6 +102,11 @@ class HashBuildOperator(Operator):
         self._pages: list[Page] = []
         self._finished = False
         self._retained = 0
+        # Spilled input runs (Sec. IV-F2): under memory revocation the
+        # accumulated build pages go to disk and are read back at finish
+        # time, so the built table is byte-identical either way.
+        self._spilled_runs: list[tuple[list[Page], int]] = []
+        self.spill_context = None
 
     def needs_input(self) -> bool:
         return not self._finished
@@ -114,11 +119,42 @@ class HashBuildOperator(Operator):
     def get_output(self) -> Optional[Page]:
         return None
 
+    # -- revocation (spilling) ------------------------------------------------
+
+    def revocable_bytes(self) -> int:
+        return 0 if self._finished else self._retained
+
+    def revoke(self) -> int:
+        """Spill the build input collected so far as one run."""
+        if self._finished or not self._pages:
+            return 0
+        released = self._retained
+        self._spilled_runs.append((self._pages, released))
+        if self.spill_context is not None:
+            self.spill_context.write(released)
+        self._pages = []
+        self._retained = 0
+        return released
+
+    def _collect_input(self) -> list[Page]:
+        """All build pages in arrival order: spilled runs (read back from
+        disk) first, then whatever is still in memory."""
+        if not self._spilled_runs:
+            return self._pages
+        pages: list[Page] = []
+        for run, run_bytes in self._spilled_runs:
+            if self.spill_context is not None:
+                self.spill_context.read(run_bytes)
+            pages.extend(run)
+        pages.extend(self._pages)
+        self._spilled_runs = []
+        return pages
+
     def finish(self) -> None:
         if self._finished:
             return
         self._finished = True
-        combined = concat_pages(self._pages)
+        combined = concat_pages(self._collect_input())
         row_count = combined.row_count if combined is not None else 0
         if self.dynamic_filter_specs and self.on_dynamic_filter is not None:
             from repro.exec.dynamic_filters import DynamicFilter

@@ -43,6 +43,15 @@ every result against the reference oracle:
    under ``REPRO_KERNELS=row`` this differentially tests the fused
    single-pass pipelines against the fully unfused row-at-a-time
    oracle path
+14. ``spooled`` — SimCluster with fault tolerance *and* the durable
+   output spool enabled, under an asymmetric network partition that
+   later heals plus a worker crash: spool reads, partition-aware
+   detection, re-admission fencing, and ack-driven buffer GC must all
+   keep the result bit-exact with no client retry
+15. ``join_spill`` — SimCluster whose general memory pool is far
+   smaller than any join/aggregation state with spilling enabled, so
+   memory revocation (HashBuild/sort/aggregation spill-and-merge)
+   engages on stateful queries and must not change a byte of output
 
 Errors are outcomes too: if the oracle raises, every configuration must
 raise an error of the same class.
@@ -79,6 +88,8 @@ CONFIG_NAMES = (
     "ddl_roundtrip",
     "cache_coherence",
     "fused",
+    "spooled",
+    "join_spill",
 )
 
 # The case currently (or most recently) executing. Deliberately NOT
@@ -218,7 +229,11 @@ def _forced_df_optimizer():
 
 
 def _cluster(
-    tables, faults: bool, recovery: bool = False, dynamic_filters: bool = False
+    tables,
+    faults: bool,
+    recovery: bool = False,
+    dynamic_filters: bool = False,
+    spool: bool = False,
 ) -> SimCluster:
     from repro.cluster import FaultToleranceConfig
 
@@ -228,7 +243,9 @@ def _cluster(
         default_schema="default",
         transient_failure_rate=0.05 if faults else 0.0,
         transfer_duplicate_rate=0.05 if recovery else 0.0,
-        fault_tolerance=FaultToleranceConfig(enabled=recovery),
+        fault_tolerance=FaultToleranceConfig(
+            enabled=recovery, spool_enabled=spool
+        ),
     )
     if dynamic_filters:
         config.optimizer = _forced_df_optimizer()
@@ -377,6 +394,46 @@ def _run_chaos(tables, sql: str) -> list[tuple]:
     if handle.state == "failed":
         raise handle.error
     return handle.rows()
+
+
+def _run_spooled(tables, sql: str) -> list[tuple]:
+    """Spool + partition run: one worker is cut off asymmetrically
+    (it can send, nothing reaches it) and healed later, while another
+    crashes outright. The durable spool must serve drained streams of
+    both victims, the healed worker's stale attempts must be fenced on
+    re-admission, and the query must finish bit-exactly without a
+    client retry."""
+    cluster = _cluster(tables, faults=True, recovery=True, spool=True)
+    handle = cluster.submit(sql)
+    cluster.sim.run(until_ms=1.0)
+    cluster.partition_worker("worker-1", one_way=True)
+    cluster.sim.run(until_ms=cluster.sim.now + 250.0)
+    cluster.heal_partition("worker-1")
+    cluster.crash_worker("worker-2")
+    cluster.run()
+    if handle.state == "failed":
+        raise handle.error
+    return handle.rows()
+
+
+def _run_join_spill(tables, sql: str) -> list[tuple]:
+    """Memory-pressure run: the general pool is far smaller than any
+    join/aggregation state and spilling is on, so memory revocation
+    (HashBuild/sort/aggregation spill-and-merge) engages on stateful
+    queries — and must not change a byte of output."""
+    config = ClusterConfig(
+        worker_count=3,
+        default_catalog="memory",
+        default_schema="default",
+        node_memory_bytes=52_000,
+        reserved_pool_bytes=50_000,
+        spill_enabled=True,
+    )
+    cluster = SimCluster(config)
+    connector = MemoryConnector()
+    load_tables(connector, tables)
+    cluster.register_catalog("memory", connector)
+    return cluster.run_query(sql).rows()
 
 
 class CacheCoherenceError(Exception):
@@ -575,6 +632,10 @@ def run_config(name: str, case_tables, sql: str) -> Outcome:
                 return cluster.run_query(sql).rows()
 
         return _capture(run_forced_fusion)
+    if name == "spooled":
+        return _capture(lambda: _run_spooled(case_tables, sql))
+    if name == "join_spill":
+        return _capture(lambda: _run_join_spill(case_tables, sql))
     raise ValueError(f"unknown config {name!r}")
 
 

@@ -30,6 +30,8 @@ HOT_FILES = [
     "src/repro/exec/operators/core.py",
     "src/repro/exec/dynamic_filters.py",
     "src/repro/cluster/shuffle.py",
+    # Fault-tolerance PR: the durable spool sits on the delivery path.
+    "src/repro/cluster/spool.py",
     # Pipeline-fusion PR: the compiler, the fused operator, the kernel
     # backend seam, and the page processor they route through.
     "src/repro/exec/pipeline.py",
