@@ -24,7 +24,11 @@ from repro.cluster import ClusterConfig, SimCluster
 from repro.connectors.hive import HiveConnector
 from repro.connectors.raptor import RaptorConnector
 from repro.workload.datasets import setup_warehouse_dataset
-from repro.workload.tpcds import TPCDS_ANALOG_QUERIES
+from repro.workload.tpcds import (
+    RULE_PACK_FAMILIES,
+    RULE_PACK_QUERIES,
+    TPCDS_ANALOG_QUERIES,
+)
 
 SCALE = 0.004
 WORKERS = 8
@@ -194,3 +198,122 @@ def test_fig6_fusion_ablation(benchmark):
     assert totals["fused"] < totals["unfused"]
     for query_id in TPCDS_ANALOG_QUERIES:
         assert results["fused"][query_id] <= results["unfused"][query_id] * 1.10
+
+
+def _run_rule_queries(optimizer, query_ids):
+    """Run ``query_ids`` on a fresh hive+stats cluster under
+    ``optimizer`` and report per-query total CPU ms and result rows.
+
+    CPU (total work across tasks) rather than wall time is the measured
+    axis: these rewrites reduce the *work* a query does, and at
+    benchmark scale the 8-worker cluster hides work reduction behind
+    parallelism and fixed scheduling latency."""
+    from repro.optimizer.context import OptimizerConfig
+
+    cluster = _fresh_cluster("hive")
+    cluster.config.optimizer = optimizer if optimizer is not None else OptimizerConfig()
+    _setup_hive(cluster, statistics=True)
+    out = {}
+    for query_id in query_ids:
+        handle = cluster.run_query(RULE_PACK_QUERIES[query_id], drain=True)
+        out[query_id] = (handle.total_cpu_ms, handle.rows())
+    return out
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_rule_ablation(benchmark):
+    """Per-family ablation of the rewrite-rule pack (docs/OPTIMIZER.md).
+
+    For each rule family, its queries run with the family's knob on and
+    off (every other setting default). The rewrite must (a) preserve
+    results bit-for-bit and (b) win >= 1.3x total CPU on at least one
+    query of the family. A final sweep runs the standard Fig. 6 queries
+    with the whole pack on vs off and checks no query regresses by more
+    than 10% — the rules (with their cost guards active) must be safe
+    to leave enabled on a workload they were not shaped for.
+    """
+    from repro.optimizer.context import OptimizerConfig
+
+    ablation: dict[str, dict] = {}
+
+    def run_all():
+        for family, (knob, query_ids) in RULE_PACK_FAMILIES.items():
+            on = _run_rule_queries(OptimizerConfig(), query_ids)
+            off = _run_rule_queries(OptimizerConfig(**{knob: False}), query_ids)
+            ablation[family] = {
+                "knob": knob,
+                "queries": {
+                    qid: {
+                        "on_cpu_ms": round(on[qid][0], 1),
+                        "off_cpu_ms": round(off[qid][0], 1),
+                        "speedup": round(off[qid][0] / on[qid][0], 2),
+                        "rows_equal": on[qid][1] == off[qid][1],
+                    }
+                    for qid in query_ids
+                },
+            }
+        return ablation
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for family, entry in ablation.items():
+        for qid, stats in entry["queries"].items():
+            rows.append(
+                [
+                    family,
+                    qid,
+                    stats["off_cpu_ms"],
+                    stats["on_cpu_ms"],
+                    f"{stats['speedup']:.2f}x",
+                ]
+            )
+    print_table(
+        "Fig. 6 ablation — rewrite-rule pack, per family (hive+stats, CPU ms)",
+        ["family", "query", "rule off", "rule on", "speedup"],
+        rows,
+    )
+
+    # decorrelate_subquery has no ablation axis: with the knob off,
+    # correlated EXISTS/IN queries are not plannable at all (the naive
+    # form needs free variables at execution). Record it as a
+    # capability so the registry conformance test sees every rule.
+    payload = {
+        "families": ablation,
+        "capability": {
+            "decorrelate_subquery": {
+                "knob": "rule_decorrelate_subquery",
+                "note": "off means correlated EXISTS/IN raise; "
+                "enables q35/q69-class queries rather than speeding them up",
+            }
+        },
+    }
+    save_results("fig6_rule_ablation", payload)
+
+    for family, entry in ablation.items():
+        speedups = [q["speedup"] for q in entry["queries"].values()]
+        assert max(speedups) >= 1.3, f"{family}: best speedup {max(speedups)}"
+        for qid, stats in entry["queries"].items():
+            assert stats["rows_equal"], f"{family}/{qid}: rewrite changed results"
+
+    # No-regression sweep: whole pack (guards on, the default) vs all
+    # ablatable rules off, on the standard Fig. 6 queries.
+    pack_off = OptimizerConfig(
+        **{knob: False for knob, _ in RULE_PACK_FAMILIES.values()}
+    )
+    for name, optimizer in (("pack_on", None), ("pack_off", pack_off)):
+        cluster = _fresh_cluster("hive")
+        if optimizer is not None:
+            cluster.config.optimizer = optimizer
+        _setup_hive(cluster, statistics=True)
+        sweep = {}
+        for query_id, sql in TPCDS_ANALOG_QUERIES.items():
+            handle = cluster.run_query(sql, drain=True)
+            sweep[query_id] = handle.total_cpu_ms
+        payload[name] = {k: round(v, 1) for k, v in sweep.items()}
+    save_results("fig6_rule_ablation", payload)
+    for query_id in TPCDS_ANALOG_QUERIES:
+        assert payload["pack_on"][query_id] <= payload["pack_off"][query_id] * 1.10, (
+            f"{query_id}: rule pack regressed CPU "
+            f"{payload['pack_off'][query_id]} -> {payload['pack_on'][query_id]}"
+        )

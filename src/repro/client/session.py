@@ -53,6 +53,7 @@ class LocalEngine:
         schema: str = "default",
         optimize: bool = True,
         interpreted: bool = False,
+        optimizer_config=None,
     ):
         self.metadata = Metadata()
         self.default_catalog = catalog
@@ -61,6 +62,12 @@ class LocalEngine:
         # Row-at-a-time interpreted expression evaluation (reference mode
         # for differential fuzzing) instead of the compiled path.
         self.interpreted = interpreted
+        # Optional OptimizerConfig override (rule knobs, guards,
+        # thresholds); None = defaults.
+        self.optimizer_config = optimizer_config
+        # RuleTrace of the most recent plan() call (rewrite-rule
+        # firings / cost-guard skips), for tests and EXPLAIN.
+        self.last_rule_trace = None
 
     # -- catalog management ------------------------------------------------
 
@@ -110,14 +117,27 @@ class LocalEngine:
         return QueryResult(result.column_names, result.column_types, result.rows())
 
     def plan(self, statement: ast.Statement, optimize: Optional[bool] = None):
+        from repro.planner.rules import RuleTrace
+
+        trace = RuleTrace()
         planner = LogicalPlanner(
-            self.metadata, SessionContext(self.default_catalog, self.default_schema)
+            self.metadata,
+            SessionContext(self.default_catalog, self.default_schema),
+            optimizer_config=self.optimizer_config,
+            trace=trace,
         )
         plan = planner.plan_statement(statement)
         if optimize if optimize is not None else self.optimize:
             from repro.optimizer import optimize_plan
 
-            plan = optimize_plan(plan, self.metadata, planner.symbols)
+            plan = optimize_plan(
+                plan,
+                self.metadata,
+                planner.symbols,
+                config=self.optimizer_config,
+                trace=trace,
+            )
+        self.last_rule_trace = trace
         return plan
 
     # -- auxiliary statements ----------------------------------------------------
@@ -133,6 +153,10 @@ class LocalEngine:
             text = format_fragmented_plan(fragmented)
         else:
             text = format_plan(plan.root)
+        # Rewrite-rule header (docs/OPTIMIZER.md): which rules shaped
+        # this plan and which were skipped by their cost guards.
+        if self.last_rule_trace is not None:
+            text = self.last_rule_trace.summary() + "\n" + text
         return QueryResult(["Query Plan"], [VARCHAR], [(text,)])
 
     def _explain_analyze(self, plan) -> str:

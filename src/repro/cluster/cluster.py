@@ -193,6 +193,11 @@ class SimCluster:
         # compiled into a FusedPipelineOperator vs. fallbacks by reason.
         self.pipelines_fused = 0
         self.fusion_fallbacks: dict[str, int] = {}
+        # Rewrite-rule counters (repro.planner.rules): firings and
+        # cost-guard skips per rule, folded in per freshly-planned
+        # query (cache hits don't re-count).
+        self.rules_fired: dict[str, int] = {}
+        self.rules_skipped_cost: dict[str, int] = {}
         # Network topology for partition injection (distinct from
         # crashes: a partitioned worker keeps running).
         self.topology = NetworkTopology()
@@ -349,16 +354,35 @@ class SimCluster:
         key = None
         if cacheable and self.plan_cache is not None:
             # The formatter normalizes whitespace/case, so cosmetically
-            # different spellings of one query share a cache entry.
-            key = (catalog, schema, format_statement(statement))
+            # different spellings of one query share a cache entry. The
+            # effective optimizer config is part of the key: a plan
+            # built under different rule knobs/thresholds is a
+            # different plan.
+            key = self._plan_cache_key(statement, catalog, schema)
             entry = self.plan_cache.get(key, self.table_versions)
             if entry is not None:
                 return entry.fragmented, entry
-        planner = LogicalPlanner(self.metadata, SessionContext(catalog, schema))
+        from repro.planner.rules import RuleTrace
+
+        trace = RuleTrace()
+        planner = LogicalPlanner(
+            self.metadata,
+            SessionContext(catalog, schema),
+            optimizer_config=self.config.optimizer,
+            trace=trace,
+        )
         plan = planner.plan_statement(statement)
         from repro.optimizer import optimize_plan
 
-        plan = optimize_plan(plan, self.metadata, planner.symbols, self.config.optimizer)
+        plan = optimize_plan(
+            plan, self.metadata, planner.symbols, self.config.optimizer, trace=trace
+        )
+        for name, count in trace.fired_counts().items():
+            self.rules_fired[name] = self.rules_fired.get(name, 0) + count
+        for name, count in trace.skipped_counts().items():
+            self.rules_skipped_cost[name] = (
+                self.rules_skipped_cost.get(name, 0) + count
+            )
         fragmented = fragment_plan(plan)
         entry = None
         if cacheable and (self.plan_cache is not None or self.result_cache is not None):
@@ -367,10 +391,21 @@ class SimCluster:
                 self.table_versions(referenced_tables(fragmented)),
                 plan_fingerprint(fragmented),
                 is_result_cacheable(fragmented),
+                planning_info={"rules": trace.summary()},
             )
             if self.plan_cache is not None:
                 self.plan_cache.put(key, entry)
         return fragmented, entry
+
+    def _plan_cache_key(self, statement, catalog: str, schema: str) -> tuple:
+        from repro.planner.fingerprint import optimizer_config_token
+
+        return (
+            catalog,
+            schema,
+            format_statement(statement),
+            optimizer_config_token(self.config.optimizer),
+        )
 
     def record_fusion(self, report) -> None:
         """Fold one task's pipeline-fusion outcome (repro.exec.pipeline
@@ -393,7 +428,7 @@ class SimCluster:
         catalog, schema = self.config.default_catalog, self.config.default_schema
         plan_status = "uncacheable"
         if isinstance(statement, ast.Query) and self.plan_cache is not None:
-            key = (catalog, schema, format_statement(statement))
+            key = self._plan_cache_key(statement, catalog, schema)
             entry = self.plan_cache.cache.peek(key)
             stale = entry is not None and entry.table_versions != self.table_versions(
                 entry.table_versions
@@ -415,6 +450,12 @@ class SimCluster:
             f"result cache: {result_status} (fingerprint {cached.fingerprint[:12]})"
             if cached is not None
             else "result cache: uncacheable",
+        ]
+        if cached is not None and "rules" in cached.planning_info:
+            # For cache hits this reports the rules that built the
+            # cached plan, which is exactly what will execute.
+            lines.append(cached.planning_info["rules"])
+        lines += [
             "",
             format_fragmented_plan(fragmented, self._fusion_annotations(fragmented)),
         ]
@@ -863,6 +904,18 @@ class SimCluster:
         }
         for reason, count in sorted(self.fusion_fallbacks.items()):
             snapshot[f"exec.fusion_fallback.{reason}"] = count
+        # Rewrite-rule counters (docs/OPTIMIZER.md). Every registered
+        # rule always has both keys so dashboards/tests can rely on
+        # them; rules that never fired report zeros.
+        from repro.planner.rules import REGISTRY as _RULES
+
+        for rule in _RULES:
+            snapshot[f"optimizer.rule_fired.{rule.name}"] = self.rules_fired.get(
+                rule.name, 0
+            )
+            snapshot[f"optimizer.rule_skipped_cost.{rule.name}"] = (
+                self.rules_skipped_cost.get(rule.name, 0)
+            )
         # Caching-tier counters (docs/CACHING.md). Keys are always
         # present so dashboards/tests can rely on them; disabled levels
         # report zeros.

@@ -344,12 +344,15 @@ class LocalExecutionPlanner:
                 [_channel(build_symbols, k) for k in node.filtering_keys],
                 dynamic_filters=self._build_filter_specs(node),
                 on_dynamic_filter=self._publish_dynamic_filter,
+                null_aware=node.null_aware,
             )
         )
         self.pipelines.append(build_ops)
         probe_ops.append(
             SemiJoinOperator(
-                bridge, [_channel(probe_symbols, k) for k in node.source_keys]
+                bridge,
+                [_channel(probe_symbols, k) for k in node.source_keys],
+                null_aware=node.null_aware,
             )
         )
         return probe_ops, probe_symbols + [node.output]

@@ -446,6 +446,7 @@ class SemiJoinBuildOperator(Operator):
         key_channels,
         dynamic_filters: Sequence[tuple[str, int]] = (),
         on_dynamic_filter: Optional[Callable] = None,
+        null_aware: bool = False,
     ):
         super().__init__()
         self.bridge = bridge
@@ -455,6 +456,11 @@ class SemiJoinBuildOperator(Operator):
         # (filter id, key index) pairs to summarize at finish time.
         self.dynamic_filter_specs = list(dynamic_filters)
         self.on_dynamic_filter = on_dynamic_filter
+        # Null-aware mode (INTERSECT/EXCEPT short-circuit): NULL is an
+        # ordinary key value — stored in the lookup set so NULL = NULL
+        # matches. ``_has_null`` is still tracked to keep dynamic
+        # filters sound (a domain filter would prune NULL probe rows).
+        self.null_aware = null_aware
         self._values: set = set()
         self._has_null = False
         self._finished = False
@@ -471,6 +477,8 @@ class SemiJoinBuildOperator(Operator):
             for key in kernels.key_tuples(key_blocks, fact.first_positions):
                 if any(k is None for k in key):
                     self._has_null = True
+                    if self.null_aware:
+                        self._values.add(key if len(key) > 1 else key[0])
                 else:
                     self._values.add(key if len(key) > 1 else key[0])
             return
@@ -479,6 +487,8 @@ class SemiJoinBuildOperator(Operator):
             key = tuple(col[row] for col in columns)
             if any(k is None for k in key):
                 self._has_null = True
+                if self.null_aware:
+                    self._values.add(key if len(key) > 1 else key[0])
             else:
                 self._values.add(key if len(key) > 1 else key[0])
 
@@ -488,7 +498,13 @@ class SemiJoinBuildOperator(Operator):
     def finish(self) -> None:
         if not self._finished:
             self._finished = True
-            if self.dynamic_filter_specs and self.on_dynamic_filter is not None:
+            publish = self.dynamic_filter_specs and self.on_dynamic_filter is not None
+            if publish and self.null_aware and self._has_null:
+                # A NULL build key matches NULL probe rows in null-aware
+                # mode, but a value-domain filter would prune them at
+                # the scan. Stay unfiltered rather than lose rows.
+                publish = False
+            if publish:
                 from repro.exec.dynamic_filters import DynamicFilter
 
                 for filter_id, index in self.dynamic_filter_specs:
@@ -510,12 +526,16 @@ class SemiJoinOperator(StreamingOperator):
 
     name = "SemiJoin"
 
-    def __init__(self, bridge: SemiJoinBridge, key_channels):
+    def __init__(self, bridge: SemiJoinBridge, key_channels, null_aware: bool = False):
         super().__init__()
         self.bridge = bridge
         self.key_channels = (
             list(key_channels) if isinstance(key_channels, (list, tuple)) else [key_channels]
         )
+        # Null-aware mode: plain set membership, strictly TRUE/FALSE
+        # (NULL = NULL matches) — the distinct-based comparison of
+        # INTERSECT/EXCEPT, not the three-valued IN semantics.
+        self.null_aware = null_aware
 
     def is_blocked(self) -> bool:
         return not self.bridge.ready
@@ -527,16 +547,20 @@ class SemiJoinOperator(StreamingOperator):
         lookup = self.bridge.values
         has_null = self.bridge.has_null
         multi = len(self.key_channels) > 1
+        null_aware = self.null_aware
         key_blocks = [page.block(c) for c in self.key_channels]
         fact = kernels.factorize(key_blocks, page.row_count)
         if fact is not None:
             # One membership probe per distinct key; broadcast by group id.
             per_group: list[Optional[bool]] = []
             for key in kernels.key_tuples(key_blocks, fact.first_positions):
+                probe = key if multi else key[0]
+                if null_aware:
+                    per_group.append(probe in lookup)
+                    continue
                 if any(k is None for k in key):
                     per_group.append(None)
                     continue
-                probe = key if multi else key[0]
                 per_group.append(
                     True if probe in lookup else (None if has_null else False)
                 )
@@ -546,10 +570,13 @@ class SemiJoinOperator(StreamingOperator):
         matches = []
         for row in range(page.row_count):  # row-path: object-typed keys
             key = tuple(col[row] for col in columns)
+            probe = key if multi else key[0]
+            if null_aware:
+                matches.append(probe in lookup)
+                continue
             if any(k is None for k in key):
                 matches.append(None)
                 continue
-            probe = key if multi else key[0]
             if probe in lookup:
                 matches.append(True)
             else:

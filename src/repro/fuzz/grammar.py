@@ -48,6 +48,7 @@ class FeatureMask:
     case_expressions: bool = True  # CASE / COALESCE / NULLIF
     order_limit: bool = True      # ORDER BY (+ LIMIT when deterministic)
     distinct: bool = True         # SELECT DISTINCT
+    ctes: bool = True             # WITH ... over window/distinct/set-op bodies
 
     @classmethod
     def all(cls) -> "FeatureMask":
@@ -378,6 +379,17 @@ class _QueryGen:
             return ast.Not(pred) if rng.random() < 0.3 else pred
         if kind == 2 and int_cols:
             # Scalar subquery comparison: aggregates never return >1 row.
+            # Half the time correlate it via a top-level equality — the
+            # grouped-join decorrelation class (repro.planner.rules
+            # DecorrelateScalar); empty groups then exercise the
+            # empty-aggregate fill-in (count() -> 0, min/max -> NULL).
+            where: ast.Expression | None = None
+            if scope.of_type(BIGINT) and rng.random() < 0.5:
+                where = ast.Comparison(
+                    ast.ComparisonOp.EQ,
+                    column(*rng.choice(int_cols)),
+                    column(*rng.choice(scope.of_type(BIGINT))),
+                )
             inner = self._simple_subquery(
                 other,
                 inner_alias,
@@ -386,6 +398,7 @@ class _QueryGen:
                         call(rng.choice(["min", "max", "count"]), column(*rng.choice(int_cols)))
                     )
                 ],
+                where,
             )
             return ast.Comparison(
                 rng.choice([ast.ComparisonOp.LT, ast.ComparisonOp.GT, ast.ComparisonOp.LE]),
@@ -497,6 +510,11 @@ class _QueryGen:
             shapes.append("window")
         if self.features.set_ops:
             shapes.append("set_op")
+        if self.features.ctes and (
+            self.features.distinct or self.features.windows or self.features.set_ops
+        ):
+            shapes.append("cte")
+        self._with: ast.With | None = None
         shape = rng.choice(shapes)
         spec, exact_channels = getattr(self, "_shape_" + shape)()
         order_spec: list[tuple[int, bool, bool]] = []
@@ -523,7 +541,7 @@ class _QueryGen:
             if all_exact and rng.random() < 0.5:
                 limit = rng.randrange(1, 15)
             spec = replace(spec, order_by=tuple(items), limit=limit)
-        return ast.Query(spec), order_spec
+        return ast.Query(spec, with_=self._with), order_spec
 
     def _select_items(self, scope: _Scope) -> tuple[list[ast.SingleColumn], list[int]]:
         rng = self.rng
@@ -705,6 +723,94 @@ class _QueryGen:
             where=self._where(scope),
         )
         return spec, exact
+
+    def _shape_cte(self):
+        """``WITH cte AS (window / distinct / set-op body) SELECT ...
+        FROM cte WHERE ...`` — the shapes the CTE predicate-pushdown
+        rewrite (repro.planner.rules.cte_pushdown) targets: an outer
+        filter sitting above a window / distinct / set-op boundary."""
+        rng = self.rng
+        name = rng.choice(sorted(self.tables))
+        table = self.tables[name]
+        inner_scope = _Scope([("i", c.name, c.type) for c in table.columns])
+        kinds = []
+        if self.features.distinct:
+            kinds.append("distinct")
+        if self.features.windows:
+            kinds.append("window")
+        if self.features.set_ops:
+            kinds.append("set_op")
+        kind = rng.choice(kinds)
+        from_inner = ast.AliasedRelation(ast.Table(ast.QualifiedName((name,))), "i")
+        if kind == "window":
+            # rank/dense_rank only: peer-deterministic, so the body's
+            # multiset is seed-stable whatever plan produced it.
+            part_key = rng.choice(inner_scope.of_type(BIGINT))
+            order_cols = inner_scope.of_type(BIGINT) + inner_scope.of_type(VARCHAR)
+            wcall = call(
+                rng.choice(["rank", "dense_rank"]),
+                window=ast.WindowSpec(
+                    partition_by=(column(*part_key),),
+                    order_by=(
+                        ast.SortItem(column(*rng.choice(order_cols)), True, None),
+                    ),
+                ),
+            )
+            body = ast.QuerySpecification(
+                select=ast.Select(
+                    (
+                        ast.SingleColumn(column(*part_key), alias="g"),
+                        ast.SingleColumn(self.int_expr(inner_scope, depth=1), alias="v"),
+                        ast.SingleColumn(wcall, alias="r"),
+                    )
+                ),
+                from_=from_inner,
+            )
+            cte_columns = [("g", BIGINT), ("v", BIGINT), ("r", BIGINT)]
+        elif kind == "distinct":
+            body = ast.QuerySpecification(
+                select=ast.Select(
+                    (
+                        ast.SingleColumn(self.int_expr(inner_scope, depth=1), alias="g"),
+                        ast.SingleColumn(self.str_expr(inner_scope, depth=1), alias="v"),
+                    ),
+                    distinct=True,
+                ),
+                from_=from_inner,
+            )
+            cte_columns = [("g", BIGINT), ("v", VARCHAR)]
+        else:  # set_op
+            other = rng.choice(sorted(self.tables))
+            sides = []
+            for side_name in (name, other):
+                side_scope = _Scope(
+                    [("i", c.name, c.type) for c in self.tables[side_name].columns]
+                )
+                sides.append(
+                    ast.QuerySpecification(
+                        select=ast.Select(
+                            (ast.SingleColumn(self.int_expr(side_scope), alias="g"),)
+                        ),
+                        from_=ast.AliasedRelation(
+                            ast.Table(ast.QualifiedName((side_name,))), "i"
+                        ),
+                    )
+                )
+            set_kind = rng.choice(list(ast.SetOpKind))
+            body = ast.SetOperation(set_kind, sides[0], sides[1], distinct=True)
+            cte_columns = [("g", BIGINT)]
+        self._with = ast.With((ast.WithQuery("cte", ast.Query(body)),))
+        scope = _Scope([("c", col, type_) for col, type_ in cte_columns])
+        items = tuple(
+            ast.SingleColumn(column("c", col), alias=f"c{i}")
+            for i, (col, _) in enumerate(cte_columns)
+        )
+        spec = ast.QuerySpecification(
+            select=ast.Select(items),
+            from_=ast.AliasedRelation(ast.Table(ast.QualifiedName(("cte",))), "c"),
+            where=self.bool_expr(scope),
+        )
+        return spec, list(range(len(cte_columns)))
 
     def _is_double(self, expr: ast.Expression, scope: _Scope) -> bool:
         doubles = {(a, c) for a, c in scope.of_type(DOUBLE)}

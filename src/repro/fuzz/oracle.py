@@ -43,7 +43,17 @@ def run_oracle(
     semantics demand (errors are outcomes too).
     """
     statement = parse_statement(sql)
-    planner = LogicalPlanner(metadata, SessionContext(catalog, schema))
+    from repro.optimizer.context import OptimizerConfig
+
+    # The oracle is the naive baseline: scalar subqueries stay as
+    # nested-loop apply joins (the engine's grouped-join rewrite is
+    # what the differential run checks). decorrelate_subquery must stay
+    # on — correlated EXISTS/IN have no executable fallback.
+    planner = LogicalPlanner(
+        metadata,
+        SessionContext(catalog, schema),
+        optimizer_config=OptimizerConfig(rule_decorrelate_scalar=False),
+    )
     logical = planner.plan_statement(statement)
     root = logical.root
     if not isinstance(root, plan.OutputNode):
@@ -282,12 +292,17 @@ class _PlanEvaluator:
             key = tuple(row[c] for c in filter_keys)
             if any(k is None for k in key):
                 has_null = True
+                if node.null_aware:
+                    build.add(key)
             else:
                 build.add(key)
         out_rows = []
         for row in rows:
             key = tuple(row[c] for c in source_keys)
-            if any(k is None for k in key):
+            if node.null_aware:
+                # INTERSECT/EXCEPT comparison: NULL = NULL, two-valued.
+                match = key in build
+            elif any(k is None for k in key):
                 match = None
             elif key in build:
                 match = True

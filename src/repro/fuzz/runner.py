@@ -52,6 +52,14 @@ every result against the reference oracle:
    smaller than any join/aggregation state with spilling enabled, so
    memory revocation (HashBuild/sort/aggregation spill-and-merge)
    engages on stateful queries and must not change a byte of output
+16. ``rewrites`` — LocalEngine with every rewrite rule of the
+   repro.planner.rules pack enabled and their cost guards disabled, so
+   each eligible shape actually rewrites (decorrelation, scan
+   consolidation, set-op semi joins, CTE pushdown); the oracle runs
+   the naive plans (scalar subqueries stay nested-loop apply joins),
+   making this a true rules-on vs rules-off differential. Run the
+   campaign under ``REPRO_KERNELS=row`` as well to cross the rewrites
+   with the row-path hash kernels
 
 Errors are outcomes too: if the oracle raises, every configuration must
 raise an error of the same class.
@@ -90,6 +98,7 @@ CONFIG_NAMES = (
     "fused",
     "spooled",
     "join_spill",
+    "rewrites",
 )
 
 # The case currently (or most recently) executing. Deliberately NOT
@@ -214,6 +223,15 @@ def _local_engine(tables, optimize: bool, interpreted: bool) -> LocalEngine:
     load_tables(connector, tables)
     engine.register_catalog("memory", connector)
     return engine
+
+
+def _forced_rewrites_optimizer():
+    """Every rewrite rule on with cost guards disabled, so eligible
+    shapes always rewrite regardless of stats (the knobs default on;
+    the guards are what usually hold a rewrite back on tiny tables)."""
+    from repro.optimizer.context import OptimizerConfig
+
+    return OptimizerConfig(rewrite_cost_guards=False)
 
 
 def _forced_df_optimizer():
@@ -632,6 +650,10 @@ def run_config(name: str, case_tables, sql: str) -> Outcome:
                 return cluster.run_query(sql).rows()
 
         return _capture(run_forced_fusion)
+    if name == "rewrites":
+        engine = _local_engine(case_tables, optimize=True, interpreted=False)
+        engine.optimizer_config = _forced_rewrites_optimizer()
+        return _capture(lambda: engine.execute(sql).rows)
     if name == "spooled":
         return _capture(lambda: _run_spooled(case_tables, sql))
     if name == "join_spill":

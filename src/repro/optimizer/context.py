@@ -43,6 +43,30 @@ class OptimizerConfig:
     # (virtual-clock ms; 0 = apply filters opportunistically, never
     # stall).
     dynamic_filter_wait_ms: float = 0.0
+    # -- rewrite-rule pack (repro.planner.rules; docs/OPTIMIZER.md) ----
+    # Per-rule gates for the QueryTorque-taxonomy rewrites. The two
+    # decorrelation rules run at plan time (the planner consults this
+    # config); the rest run inside the optimizer's rewrite engine.
+    rule_decorrelate_subquery: bool = True
+    rule_decorrelate_scalar: bool = True
+    rule_consolidate_scans: bool = True
+    rule_setop_semijoin: bool = True
+    rule_cte_pushdown: bool = True
+    # When False, enabled rules fire without consulting their stats
+    # cost guards (the `rewrites` fuzz config uses this to maximize
+    # rewrite coverage; guard skips are still recorded in the trace).
+    rewrite_cost_guards: bool = True
+    # Total rule applications allowed per query; the engine stops
+    # rewriting (and records budget exhaustion) once spent.
+    rewrite_budget: int = 64
+    # setop_semijoin guard: skip the rewrite when the filtering side is
+    # estimated larger than this many rows (<= 0 means "skip unless the
+    # estimate proves the build side small" — conservative mode).
+    setop_semijoin_max_build_rows: float = 10_000_000.0
+    # cte_pushdown guard: skip when the predicate is estimated to keep
+    # more than this fraction of rows (pushing a non-filtering
+    # predicate below a window/distinct boundary just moves work).
+    cte_pushdown_max_selectivity: float = 0.98
 
 
 @dataclass
@@ -50,6 +74,9 @@ class OptimizerContext:
     metadata: Metadata
     symbols: SymbolAllocator
     config: OptimizerConfig = field(default_factory=OptimizerConfig)
+    # Per-query rewrite-rule record (repro.planner.rules.engine.RuleTrace);
+    # shared with the planner so plan-time rules land in the same trace.
+    trace: object | None = None
     _stats: StatsEstimator | None = None
 
     @property

@@ -40,13 +40,27 @@ def optimize_plan(
     metadata: Metadata,
     symbols: SymbolAllocator | None = None,
     config: OptimizerConfig | None = None,
+    trace=None,
 ) -> Plan:
     context = OptimizerContext(
         metadata, symbols or SymbolAllocator(), config or OptimizerConfig()
     )
+    context.trace = trace
     root = plan.root
 
     root = _fixed_point(root, context)
+    # The rewrite-rule pack runs before layout selection so scan
+    # consolidation sees un-pruned scans and the semi joins it plants
+    # are visible to plan_dynamic_filters below. Each firing can expose
+    # new work for the iterative rules (and vice versa), so alternate
+    # to a fixed point.
+    from repro.planner.rules import run_rewrite_rules
+
+    for _ in range(context.config.max_optimizer_iterations):
+        root, fired = run_rewrite_rules(root, context)
+        if not fired:
+            break
+        root = _fixed_point(root, context)
     # Layout selection (pushes TupleDomains into connectors) may leave
     # residual filters; re-run the iterative rules afterwards.
     root, _ = pick_table_layouts(root, context)

@@ -93,6 +93,19 @@ class StatsEstimator:
             return PlanEstimate(rows, source.symbols)
         if isinstance(node, (plan.SortNode, plan.ExchangeNode, plan.EnforceSingleRowNode)):
             return self.estimate(node.sources[0])
+        if isinstance(node, plan.SetOperationNode):
+            left = self.estimate(node.sources_[0])
+            right = self.estimate(node.sources_[1])
+            if not left.known:
+                return PlanEstimate()
+            if node.kind == "INTERSECT":
+                # Bounded by the smaller (distinct) input.
+                rows = left.row_count
+                if right.known:
+                    rows = min(rows, right.row_count)
+                return PlanEstimate(rows)
+            # EXCEPT: bounded by the left (distinct) input.
+            return PlanEstimate(left.row_count)
         if isinstance(node, plan.DistinctNode):
             source = self.estimate(node.source)
             if not source.known:

@@ -22,6 +22,7 @@ from repro.errors import NotSupportedError
 from repro.planner import expressions as ir
 from repro.planner import nodes as plan
 from repro.planner.symbols import Symbol, SymbolAllocator
+from repro.types import BOOLEAN
 
 
 @dataclass
@@ -116,6 +117,159 @@ def decorrelate(
         key_pairs.append((outer_expr, inner_symbol))
     projected = plan.ProjectNode(stripped, assignments)
     return DecorrelationResult(projected, key_pairs)
+
+
+@dataclass
+class ScalarDecorrelationResult:
+    """A correlated scalar aggregate rewritten as a grouped plan.
+
+    ``node`` computes one row per distinct correlation key:
+    the key symbols, a constant-TRUE ``present`` marker, and ``value``
+    (the subquery's select expression). The caller LEFT-joins the outer
+    side against it; an outer row whose key has no group reads NULL for
+    ``present`` and must substitute ``empty_value`` (the value the
+    original subquery yields on empty input — e.g. 0 for count(*)).
+    """
+
+    node: plan.PlanNode
+    key_pairs: list[tuple[ir.RowExpression, Symbol]]
+    present: Symbol
+    value: Symbol
+    # Python-level constant the subquery yields on empty input; None
+    # means plain NULL (in which case no substitution is needed).
+    empty_value: object
+
+
+def decorrelate_scalar(
+    node: plan.PlanNode,
+    output: Symbol,
+    outer_symbols: dict[str, Symbol],
+    symbols: SymbolAllocator,
+) -> ScalarDecorrelationResult:
+    """Decorrelate ``(SELECT agg(...) FROM ... WHERE outer = inner)``
+    into one aggregation grouped by the correlation keys.
+
+    The supported shape is Project/Filter layers over a single *global*
+    aggregation whose input carries the correlated equality predicates;
+    anything else raises :class:`NotSupportedError`. The layers above
+    the aggregation are replayed on top of the grouped aggregation, and
+    also folded over the aggregation's empty-input row to compute
+    ``empty_value`` (a scalar subquery with no matching rows still
+    aggregates — ``count(*)`` yields 0, not NULL — but a LEFT join
+    produces bare NULLs for groupless rows, so the caller must patch
+    the difference)."""
+    outer_names = set(outer_symbols)
+    # Peel Project/Filter layers (top to bottom) down to the aggregation.
+    layers: list[tuple[str, object]] = []
+    current = node
+    while True:
+        if isinstance(current, plan.ProjectNode):
+            layers.append(("project", current.assignments))
+            current = current.source
+        elif isinstance(current, plan.FilterNode):
+            layers.append(("filter", current.predicate))
+            current = current.source
+        else:
+            break
+    if not (
+        isinstance(current, plan.AggregationNode)
+        and current.is_global
+        and current.step == plan.AggregationStep.SINGLE
+    ):
+        raise NotSupportedError(
+            "Correlated scalar subquery is not a single aggregation "
+            "over the correlated input"
+        )
+    agg = current
+    for kind, payload in layers:
+        expressions = (
+            payload.values() if kind == "project" else [payload]
+        )
+        for expression in expressions:
+            if ir.referenced_variables(expression) & outer_names:
+                raise NotSupportedError(
+                    "Correlated scalar subquery references the outer "
+                    "query above its aggregation"
+                )
+    for call in agg.aggregations.values():
+        for expression in list(call.arguments) + (
+            [call.filter] if call.filter is not None else []
+        ):
+            if ir.referenced_variables(expression) & outer_names:
+                raise NotSupportedError(
+                    "Correlated scalar subquery uses an outer reference "
+                    "inside an aggregate call"
+                )
+
+    # Below the aggregation the existing machinery applies unchanged:
+    # strip the correlated equalities and materialize the inner keys.
+    inner = decorrelate(agg.source, outer_symbols, symbols)
+    key_symbols = [inner_symbol for _, inner_symbol in inner.key_pairs]
+    grouped = plan.AggregationNode(inner.node, key_symbols, agg.aggregations)
+
+    # Fold the peeled layers over the aggregation's empty-input row to
+    # learn what the subquery yields when an outer row has no matches.
+    from repro.exec import interpreter
+
+    bindings: dict[str, object] = {}
+    for symbol, call in agg.aggregations.items():
+        bindings[symbol.name] = call.function.output(call.function.create())
+    empty_value: object = None
+    empty_is_row = True
+    try:
+        for kind, payload in reversed(layers):
+            if kind == "filter":
+                if interpreter.evaluate(payload, bindings) is not True:
+                    # HAVING rejects the empty-input row: the subquery
+                    # returns no row, i.e. plain NULL — exactly what
+                    # the LEFT join produces. Nothing to patch.
+                    empty_is_row = False
+                    break
+            else:
+                bindings = {
+                    symbol.name: interpreter.evaluate(expression, bindings)
+                    for symbol, expression in payload.items()
+                }
+        if empty_is_row:
+            if output.name not in bindings:
+                raise NotSupportedError(
+                    "Correlated scalar subquery output is not produced "
+                    "by its own plan"
+                )
+            empty_value = bindings[output.name]
+    except NotSupportedError:
+        raise
+    except Exception as error:
+        raise NotSupportedError(
+            "Cannot precompute the empty-input value of a correlated "
+            f"scalar subquery: {error}"
+        ) from error
+
+    # Replay the layers on top of the grouped aggregation, threading the
+    # key symbols (and filters) through so the caller can join on them.
+    rebuilt: plan.PlanNode = grouped
+    for kind, payload in reversed(layers):
+        if kind == "filter":
+            rebuilt = plan.FilterNode(rebuilt, payload)
+        else:
+            assignments = dict(payload)
+            for key in key_symbols:
+                assignments.setdefault(key, ir.Variable(key.type, key.name))
+            rebuilt = plan.ProjectNode(rebuilt, assignments)
+    present = symbols.new_symbol("scalar_present", BOOLEAN)
+    final_assignments: dict[Symbol, ir.RowExpression] = {
+        key: ir.Variable(key.type, key.name) for key in key_symbols
+    }
+    final_assignments[present] = ir.Constant(BOOLEAN, True)
+    final_assignments[output] = ir.Variable(output.type, output.name)
+    rebuilt = plan.ProjectNode(rebuilt, final_assignments)
+    return ScalarDecorrelationResult(
+        node=rebuilt,
+        key_pairs=inner.key_pairs,
+        present=present,
+        value=output,
+        empty_value=empty_value,
+    )
 
 
 def _correlated_equality(

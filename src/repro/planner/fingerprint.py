@@ -103,6 +103,17 @@ def plan_fingerprint(fragmented: FragmentedPlan) -> str:
     return digest
 
 
+def optimizer_config_token(config) -> tuple:
+    """Canonical token of an effective OptimizerConfig for plan-cache
+    keys: two sessions share a cached plan only when every optimizer
+    setting (rule knobs, guards, thresholds) matches — a plan built
+    with a rule disabled must not be served to a session that enables
+    it."""
+    return tuple(
+        (f.name, getattr(config, f.name)) for f in dataclasses.fields(config)
+    )
+
+
 def referenced_tables(fragmented: FragmentedPlan) -> list[QualifiedTableName]:
     """Every table the plan reads, in deterministic order (for version
     stamping in the plan/result caches)."""

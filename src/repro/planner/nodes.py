@@ -244,6 +244,11 @@ class SemiJoinNode(PlanNode):
     output: Symbol  # boolean
     # filter id -> index into ``filtering_keys`` (see JoinNode).
     dynamic_filter_ids: dict[str, int] = field(default_factory=dict)
+    # NULL-as-value matching (NULL = NULL, output strictly TRUE/FALSE)
+    # instead of the ANSI three-valued IN semantics; backs the
+    # INTERSECT/EXCEPT semi-join short-circuit, whose distinct-based
+    # comparison treats NULLs as equal.
+    null_aware: bool = False
 
     @property
     def source_key(self) -> Symbol:

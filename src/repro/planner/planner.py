@@ -68,6 +68,8 @@ class LogicalPlanner:
         metadata: Metadata,
         session: SessionContext,
         registry: FunctionRegistry = FUNCTIONS,
+        optimizer_config=None,
+        trace=None,
     ):
         self.metadata = metadata
         self.session = session
@@ -78,6 +80,20 @@ class LogicalPlanner:
         # references resolve against this scope and are captured for
         # decorrelation.
         self._subquery_outer_scope: Scope | None = None
+        # Rewrite-rule plumbing: plan-phase rules (decorrelation) check
+        # their OptimizerConfig knobs and record into the same RuleTrace
+        # the optimizer's rewrite engine uses (repro.planner.rules).
+        if optimizer_config is None:
+            from repro.optimizer.context import OptimizerConfig
+
+            optimizer_config = OptimizerConfig()
+        self.optimizer_config = optimizer_config
+        if trace is None:
+            from repro.planner.rules import RuleTrace
+
+            trace = RuleTrace()
+        self.trace = trace
+        self._outer_row_estimate_cache: dict[int, float | None] = {}
 
     # ------------------------------------------------------------------
     # Statements
@@ -1170,18 +1186,129 @@ class _QueryBuilder(SubqueryPlanner):
     # -- SubqueryPlanner interface ---------------------------------------------------
 
     def plan_scalar_subquery(self, node: ast.ScalarSubquery, scope: Scope) -> ir.RowExpression:
-        sub = self.planner.plan_query(node.query)
+        sub, captures = self._plan_subquery_with_capture(node.query, scope)
         if len(sub.scope.fields) != 1:
             raise SemanticError("Scalar subquery must return exactly one column")
-        enforced = plan.EnforceSingleRowNode(sub.node)
-        joined = plan.JoinNode(
-            plan.JoinType.CROSS, self.relation.node, enforced, []
-        )
-        self.relation = RelationPlan(
-            joined, Scope(self.relation.scope.fields + sub.scope.fields)
-        )
         out = sub.scope.fields[0].symbol
-        return ir.Variable(out.type, out.name)
+        if not captures:
+            enforced = plan.EnforceSingleRowNode(sub.node)
+            joined = plan.JoinNode(
+                plan.JoinType.CROSS, self.relation.node, enforced, []
+            )
+            self.relation = RelationPlan(
+                joined, Scope(self.relation.scope.fields + sub.scope.fields)
+            )
+            return ir.Variable(out.type, out.name)
+        # Correlated scalar aggregate: rewrite as ONE aggregation
+        # grouped by the correlation keys, LEFT-joined back to the
+        # outer side (rule decorrelate_scalar, family SE). With the
+        # knob off — or the cost guard judging the outer side too small
+        # to amortize a hash build — the same grouped subtree is joined
+        # through a residual equality filter instead of hash criteria:
+        # a nested-loop apply with identical semantics.
+        from repro.planner.decorrelation import decorrelate_scalar
+        from repro.planner.rules import DECORRELATE_SCALAR
+
+        outer_symbols = {f.symbol.name: f.symbol for f in captures}
+        result = decorrelate_scalar(
+            sub.node, out, outer_symbols, self.planner.symbols
+        )
+        source_node, source_keys = self._materialize_outer_keys(
+            self.relation.node, result.key_pairs
+        )
+        config = self.planner.optimizer_config
+        trace = self.planner.trace
+        use_grouped = DECORRELATE_SCALAR.enabled(config)
+        if use_grouped and config.rewrite_cost_guards:
+            estimate = self._estimate_rows(source_node)
+            if not DECORRELATE_SCALAR.cost_guard(estimate, None):
+                trace.record_skipped(
+                    DECORRELATE_SCALAR.name,
+                    key=(DECORRELATE_SCALAR.name, source_node.id),
+                )
+                use_grouped = False
+        inner_keys = [inner for _, inner in result.key_pairs]
+        if use_grouped:
+            joined = plan.JoinNode(
+                plan.JoinType.LEFT,
+                source_node,
+                result.node,
+                [
+                    plan.EquiJoinClause(source_key, inner_key)
+                    for source_key, inner_key in zip(source_keys, inner_keys)
+                ],
+            )
+            trace.record_fired(DECORRELATE_SCALAR.name)
+        else:
+            conditions = [
+                ir.SpecialForm(
+                    BOOLEAN,
+                    ir.COMPARISON,
+                    (
+                        ir.Variable(source_key.type, source_key.name),
+                        ir.Variable(inner_key.type, inner_key.name),
+                    ),
+                    "=",
+                )
+                for source_key, inner_key in zip(source_keys, inner_keys)
+            ]
+            joined = plan.JoinNode(
+                plan.JoinType.LEFT,
+                source_node,
+                result.node,
+                [],
+                filter=ir.combine_conjuncts(conditions),
+            )
+        self.relation = RelationPlan(
+            joined,
+            Scope(
+                self.relation.scope.fields
+                + [
+                    Field(None, BOOLEAN, result.present, None),
+                    Field(None, out.type, result.value, None),
+                ]
+            ),
+        )
+        value = ir.Variable(out.type, out.name)
+        if result.empty_value is None:
+            # Empty input yields NULL — exactly what the LEFT join
+            # produces for a groupless outer row.
+            return value
+        # count(*)-style aggregates are non-NULL on empty input, but the
+        # LEFT join emits NULL for groupless rows; patch via the
+        # constant-TRUE ``present`` marker (a plain COALESCE would also
+        # clobber legitimately-NULL values of matched groups).
+        return ir.SpecialForm(
+            out.type,
+            ir.IF,
+            (
+                ir.SpecialForm(
+                    BOOLEAN,
+                    ir.IS_NULL,
+                    (ir.Variable(BOOLEAN, result.present.name),),
+                ),
+                ir.Constant(out.type, result.empty_value),
+                value,
+            ),
+        )
+
+    def _estimate_rows(self, node: plan.PlanNode):
+        from repro.optimizer.stats import StatsEstimator
+
+        try:
+            return StatsEstimator(self.planner.metadata).estimate(node).row_count
+        except Exception:
+            return None
+
+    def _require_decorrelation(self, rule) -> None:
+        # Unlike decorrelate_scalar there is no executable fallback for
+        # correlated EXISTS/IN — an un-decorrelated plan has free
+        # variables — so a disabled knob must reject, not degrade.
+        if not rule.enabled(self.planner.optimizer_config):
+            raise NotSupportedError(
+                f"Correlated subqueries require optimizer rule {rule.name!r} "
+                f"(OptimizerConfig.{rule.knob} is disabled)"
+            )
 
     def _plan_subquery_with_capture(self, query: ast.Query, scope: Scope):
         """Plan a subquery allowing correlated references to ``scope``;
@@ -1233,9 +1360,12 @@ class _QueryBuilder(SubqueryPlanner):
         extra_filtering_keys: list[Symbol] = []
         if captures:
             from repro.planner.decorrelation import decorrelate
+            from repro.planner.rules import DECORRELATE_SUBQUERY
 
+            self._require_decorrelation(DECORRELATE_SUBQUERY)
             outer_symbols = {f.symbol.name: f.symbol for f in captures}
             result = decorrelate(sub.node, outer_symbols, self.planner.symbols)
+            self.planner.trace.record_fired(DECORRELATE_SUBQUERY.name)
             filtering_node = result.node
             source_node, extra_source_keys = self._materialize_outer_keys(
                 source_node, result.key_pairs
@@ -1274,9 +1404,12 @@ class _QueryBuilder(SubqueryPlanner):
             # Correlated EXISTS: decorrelate into a multi-key semi join
             # (paper Sec. IV-C lists decorrelation among the rules).
             from repro.planner.decorrelation import decorrelate
+            from repro.planner.rules import DECORRELATE_SUBQUERY
 
+            self._require_decorrelation(DECORRELATE_SUBQUERY)
             outer_symbols = {f.symbol.name: f.symbol for f in captures}
             result = decorrelate(sub.node, outer_symbols, self.planner.symbols)
+            self.planner.trace.record_fired(DECORRELATE_SUBQUERY.name)
             source_node, source_keys = self._materialize_outer_keys(
                 self.relation.node, result.key_pairs
             )

@@ -1,0 +1,43 @@
+"""The rewrite-rule pack (docs/OPTIMIZER.md).
+
+Importing this package registers every rule, in catalog order:
+
+====================  ======  =====================================
+rule                  family  rewrite
+====================  ======  =====================================
+decorrelate_subquery  SE      correlated EXISTS/IN -> semi join
+decorrelate_scalar    SE      correlated scalar agg -> grouped join
+consolidate_scans     SC      N scans of one table -> one routed pass
+setop_semijoin        SO      INTERSECT/EXCEPT -> semi-join
+cte_pushdown          SR      predicates through WITH boundaries
+====================  ======  =====================================
+
+Families are QueryTorque-taxonomy provenance codes: SE = subquery
+elimination, SC = scan consolidation, SO = set operation, SR = scan
+reduction.
+"""
+
+from repro.planner.rules.engine import (
+    REGISTRY,
+    RewriteRule,
+    RuleTrace,
+    register,
+    run_rewrite_rules,
+)
+from repro.planner.rules.subqueries import (  # noqa: F401  (registration)
+    DECORRELATE_SCALAR,
+    DECORRELATE_SUBQUERY,
+)
+from repro.planner.rules import scan_consolidation  # noqa: F401
+from repro.planner.rules import set_operations  # noqa: F401
+from repro.planner.rules import cte_pushdown  # noqa: F401
+
+__all__ = [
+    "REGISTRY",
+    "RewriteRule",
+    "RuleTrace",
+    "register",
+    "run_rewrite_rules",
+    "DECORRELATE_SCALAR",
+    "DECORRELATE_SUBQUERY",
+]

@@ -1,0 +1,179 @@
+"""The rewrite-rule engine (paper Sec. IV-C: "the optimizer is a set of
+rules applied until a fixed point").
+
+A :class:`RewriteRule` is *match + apply + cost-guard*:
+
+- ``match(node, context)`` inspects one plan node and returns an opaque
+  match object (or ``None``);
+- ``cost_guard(match, context)`` consults the stats estimator and
+  returns False when the rewrite is expected to lose — the engine then
+  records a ``skipped_cost`` entry instead of firing;
+- ``rewrite(match, context)`` returns the replacement subtree.
+
+:func:`run_rewrite_rules` iterates the enabled ``optimize``-phase rules
+bottom-up over the plan to a fixed point, bounded by a per-query
+*rewrite budget* (``OptimizerConfig.rewrite_budget``). Every firing and
+every guard skip is recorded in a :class:`RuleTrace`, which the engine
+surfaces through EXPLAIN (``rules=[...]``), the plan cache entry, and
+the ``optimizer.rule_fired.*`` / ``optimizer.rule_skipped_cost.*``
+cluster counters.
+
+Rules with ``phase = "plan"`` (the decorrelation family) cannot run as
+plan-to-plan rewrites: an un-decorrelated plan has free variables and
+is not executable, and the unoptimized engine configurations execute
+the planner's raw output directly. The planner applies them while
+building the plan and records them into the same trace; registering
+them here keeps the catalog, knobs, EXPLAIN visibility, and the
+conformance test uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.planner import nodes as plan
+
+
+class RewriteRule:
+    """Base class; subclasses are registered in REGISTRY (one instance
+    per rule)."""
+
+    name: str = ""
+    # QueryTorque taxonomy provenance code (SNIPPETS.md): SE = subquery
+    # elimination, SC = scan consolidation, SO = set operation,
+    # SR = scan reduction.
+    family: str = ""
+    # OptimizerConfig attribute gating this rule.
+    knob: str = ""
+    # "optimize" rules run in run_rewrite_rules; "plan" rules are
+    # applied by the planner (see module docstring).
+    phase: str = "optimize"
+    description: str = ""
+    # A query (over the conformance-test schema, tables t0(k,n,x,s) /
+    # t1(k,m,y,u)) whose EXPLAIN must show the rule firing.
+    example_sql: str = ""
+
+    def enabled(self, config) -> bool:
+        return bool(getattr(config, self.knob, False))
+
+    def match(self, node: plan.PlanNode, context):
+        return None
+
+    def cost_guard(self, match, context) -> bool:
+        return True
+
+    def rewrite(self, match, context) -> plan.PlanNode:
+        raise NotImplementedError
+
+
+REGISTRY: list[RewriteRule] = []
+
+
+def register(rule: RewriteRule) -> RewriteRule:
+    REGISTRY.append(rule)
+    return rule
+
+
+@dataclass
+class RuleTrace:
+    """Per-query record of rewrite-rule activity."""
+
+    fired: list[str] = field(default_factory=list)
+    skipped_cost: list[str] = field(default_factory=list)
+    budget_exhausted: bool = False
+    _skip_keys: set = field(default_factory=set)
+
+    def record_fired(self, name: str) -> None:
+        self.fired.append(name)
+
+    def record_skipped(self, name: str, key=None) -> None:
+        # Fixed-point iteration re-matches unchanged nodes every pass;
+        # dedupe on (rule, node id) so one skipped site counts once.
+        if key is not None:
+            if key in self._skip_keys:
+                return
+            self._skip_keys.add(key)
+        self.skipped_cost.append(name)
+
+    @staticmethod
+    def _counts(names: list[str]) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for name in names:
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def fired_counts(self) -> dict[str, int]:
+        return self._counts(self.fired)
+
+    def skipped_counts(self) -> dict[str, int]:
+        return self._counts(self.skipped_cost)
+
+    def summary(self) -> str:
+        """The EXPLAIN header line: ``rules=[a, b x2]``, with guard
+        skips appended as ``cost_skipped=[...]`` when present."""
+        parts = [
+            name if count == 1 else f"{name} x{count}"
+            for name, count in self.fired_counts().items()
+        ]
+        line = "rules=[" + ", ".join(parts) + "]"
+        skipped = self.skipped_counts()
+        if skipped:
+            skip_parts = [
+                name if count == 1 else f"{name} x{count}"
+                for name, count in skipped.items()
+            ]
+            line += " cost_skipped=[" + ", ".join(skip_parts) + "]"
+        if self.budget_exhausted:
+            line += " (rewrite budget exhausted)"
+        return line
+
+
+def run_rewrite_rules(
+    root: plan.PlanNode, context, rules: list[RewriteRule] | None = None
+) -> tuple[plan.PlanNode, bool]:
+    """Apply the enabled optimize-phase rules bottom-up to a fixed
+    point, within the rewrite budget. Returns (new_root, changed)."""
+    config = context.config
+    trace: RuleTrace | None = getattr(context, "trace", None)
+    if trace is None:
+        trace = context.trace = RuleTrace()
+    active = [
+        rule
+        for rule in (REGISTRY if rules is None else rules)
+        if rule.phase == "optimize" and rule.enabled(config)
+    ]
+    if not active:
+        return root, False
+    changed_any = False
+    for _ in range(config.max_optimizer_iterations):
+        fired_this_pass = [False]
+
+        def attempt(node: plan.PlanNode):
+            if trace.budget_exhausted:
+                return None
+            for rule in active:
+                match = rule.match(node, context)
+                if match is None:
+                    continue
+                if len(trace.fired) >= config.rewrite_budget:
+                    trace.budget_exhausted = True
+                    return None
+                if config.rewrite_cost_guards and not rule.cost_guard(
+                    match, context
+                ):
+                    trace.record_skipped(rule.name, key=(rule.name, node.id))
+                    continue
+                trace.record_fired(rule.name)
+                fired_this_pass[0] = True
+                return rule.rewrite(match, context)
+            return None
+
+        new_root = plan.rewrite_plan(root, attempt)
+        if not fired_this_pass[0]:
+            break
+        root = new_root
+        changed_any = True
+        context.invalidate_stats()
+        if trace.budget_exhausted:
+            break
+    return root, changed_any

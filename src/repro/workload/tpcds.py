@@ -187,3 +187,74 @@ TPCDS_ANALOG_QUERIES: dict[str, str] = {
 }
 
 FIG6_QUERY_IDS = sorted(TPCDS_ANALOG_QUERIES)
+
+
+# Queries shaped for the rewrite-rule pack (repro.planner.rules), keyed
+# by the rule family they exercise. Run by the fig6 rule ablation
+# (benchmarks/test_fig6_tpcds.py): each query is measured with its
+# family's knob on and off on the hive+stats configuration.
+RULE_PACK_QUERIES: dict[str, str] = {
+    # SE / decorrelate_scalar — TPC-H Q17-style correlated scalar
+    # aggregate. The selective outer filter keeps the naive
+    # nested-loop apply (rule off) tractable while the grouped-join
+    # rewrite aggregates orders once and hash joins.
+    "r_corr": """
+        SELECT c.custkey, c.acctbal
+        FROM customer c
+        WHERE c.nationkey = 5
+          AND c.acctbal > (SELECT avg(o.totalprice) FROM orders o
+                           WHERE o.custkey = c.custkey)
+        ORDER BY c.custkey
+    """,
+    # SC / consolidate_scans — q28-style scalar-subquery battery: four
+    # disjoint aggregates over the same table collapse into one scan
+    # with FILTER-routed aggregation.
+    "r_scalars": """
+        SELECT
+          (SELECT sum(extendedprice) FROM lineitem WHERE quantity < 10),
+          (SELECT sum(extendedprice) FROM lineitem
+           WHERE quantity BETWEEN 10 AND 20),
+          (SELECT avg(extendedprice) FROM lineitem
+           WHERE quantity BETWEEN 21 AND 35),
+          (SELECT count(*) FROM lineitem WHERE quantity > 40)
+    """,
+    # SO / setop_semijoin — INTERSECT with a big probe side and a small
+    # build side; the semi-join form short-circuits via the dynamic
+    # filter the build side publishes.
+    "r_intersect": """
+        SELECT custkey FROM orders
+        INTERSECT
+        SELECT custkey FROM customer WHERE nationkey = 1
+        ORDER BY custkey
+    """,
+    # SO / setop_semijoin — q87/q38-style EXCEPT over distinct keys.
+    "r_except": """
+        SELECT custkey FROM customer WHERE nationkey < 3
+        EXCEPT
+        SELECT custkey FROM orders WHERE totalprice > 100000
+        ORDER BY custkey
+    """,
+    # SR / cte_pushdown — q51-style ranking CTE; the partition-key
+    # conjunct (custkey) pushes below the window so ranking runs over
+    # one customer band instead of all orders.
+    "r_cte_window": """
+        WITH ranked AS (
+          SELECT custkey, orderdate, totalprice,
+                 rank() OVER (PARTITION BY custkey
+                              ORDER BY totalprice DESC, orderdate ASC) r
+          FROM orders
+        )
+        SELECT custkey, orderdate, totalprice
+        FROM ranked
+        WHERE custkey < 50 AND r <= 3
+        ORDER BY custkey, r
+    """,
+}
+
+# Rule-family ablation map: family -> (OptimizerConfig knob, query ids).
+RULE_PACK_FAMILIES: dict[str, tuple[str, tuple[str, ...]]] = {
+    "decorrelate_scalar": ("rule_decorrelate_scalar", ("r_corr",)),
+    "consolidate_scans": ("rule_consolidate_scans", ("r_scalars",)),
+    "setop_semijoin": ("rule_setop_semijoin", ("r_intersect", "r_except")),
+    "cte_pushdown": ("rule_cte_pushdown", ("r_cte_window",)),
+}
