@@ -25,7 +25,7 @@ from repro.exec.blocks import (
 )
 from repro.errors import PrestoError
 from repro.exec import kernels
-from repro.exec.backend import KernelBackend, get_backend
+from repro.exec.backend import KernelBackend, current_backend
 from repro.exec.compiler import (
     CompiledExpression,
     EvalContext,
@@ -87,9 +87,9 @@ class PageProcessor:
         self.input_symbols = list(input_symbols)
         self.interpreted = interpreted
         # Array work routes through the pluggable kernel backend
-        # (repro.exec.backend): numpy today, a cupy-shaped namespace
-        # tomorrow. ``xp`` mirrors the numpy API surface.
-        self.backend = backend or get_backend()
+        # (repro.exec.backend): numpy, or the simgpu device stub with
+        # metered transfers. ``xp`` mirrors the numpy API surface.
+        self.backend = backend or current_backend()
         self._xp = self.backend.xp
         if interpreted:
             self._raw_filter = filter_expr
@@ -153,12 +153,17 @@ class PageProcessor:
             if mask is None:
                 values, nulls = self.filter.evaluate_context(ctx)
                 mask = xp.asarray(values, dtype=np.bool_) & ~nulls
-            if not mask.any():
+            # One compact bool download covers emptiness, all-pass, and
+            # the selected positions; mask.any()/mask.all() would each
+            # cost a device sync and flatnonzero a wider int64 download.
+            mask_host = self.backend.to_host(mask)
+            # Selected positions splice host Blocks (copy_positions /
+            # context subsetting), so this is the mask's host boundary.
+            selected = np.flatnonzero(mask_host)  # host-only: mask downloaded above
+            if not len(selected):
                 return None
-            if mask.all():
+            if len(selected) == page.row_count:
                 selected = None
-            else:
-                selected = xp.flatnonzero(mask)
         row_count = page.row_count if selected is None else len(selected)
         blocks: list[Block] = []
         for index, compiled in enumerate(self.projections):

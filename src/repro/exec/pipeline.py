@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.exec import kernels
-from repro.exec.backend import KernelBackend, get_backend
+from repro.exec.backend import KernelBackend, current_backend
 from repro.exec.operator import Operator
 from repro.exec.operators.aggregation import HashAggregationOperator
 from repro.exec.operators.core import (
@@ -164,7 +164,7 @@ class FusedPipelineOperator(Operator):
         self.agg = agg
         self.limit = limit
         self.sink = sink
-        self.backend = backend or get_backend()
+        self.backend = backend or current_backend()
         self._out: deque[Page] = deque()
         self._flushing = False
         self._flushed = False
@@ -214,6 +214,10 @@ class FusedPipelineOperator(Operator):
         boundary = self.scan.completed_splits
         progressed = self._advance_once()
         self.pending_kernel_ms += (time.perf_counter() - start) * 1000.0
+        # Device backends do their work on a modeled clock (uploads,
+        # kernel launches, downloads); fold those milliseconds into the
+        # same split-lump accounting so they charge the virtual CPU.
+        self.pending_kernel_ms += self.backend.drain_pending_ms()
         if self.scan.completed_splits != boundary or self._flushed:
             self.charged_kernel_ms += self.pending_kernel_ms
             self.pending_kernel_ms = 0.0
